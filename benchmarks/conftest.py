@@ -1,0 +1,58 @@
+"""Shared helpers for the figure-reproduction benches.
+
+Each bench generates one paper figure through pytest-benchmark (a
+single measured round — the interesting output is the figure data, not
+the generator's wall time), saves JSON + text into ``results/``,
+prints the table, and asserts the paper-vs-measured comparisons stay
+within per-figure tolerances.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results"),
+)
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Run a figure generator once under pytest-benchmark, persist and
+    display the result, and return it."""
+
+    def run(generator, *args, **kwargs):
+        result = benchmark.pedantic(
+            generator, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        path = result.save(RESULTS_DIR)
+        print()
+        print(result.to_text())
+        print(f"[saved] {path}")
+        return result
+
+    return run
+
+
+def assert_comparisons(result, rel_tol, skip_substrings=()):
+    """Every paper-vs-measured entry within ``rel_tol`` relative error,
+    except metrics whose name contains a skip substring (qualitative or
+    order-of-magnitude entries asserted separately)."""
+    failures = []
+    for item in result.comparisons:
+        if any(token in item["metric"] for token in skip_substrings):
+            continue
+        paper, measured = item["paper"], item["measured"]
+        if paper == 0:
+            continue
+        error = abs(measured - paper) / abs(paper)
+        if error > rel_tol:
+            failures.append(
+                f"{item['metric']}: paper={paper} measured={measured:.4g} "
+                f"(err {100 * error:.1f}% > {100 * rel_tol:.0f}%)"
+            )
+    assert not failures, "calibration drift:\n" + "\n".join(failures)

@@ -1,0 +1,107 @@
+"""Extension experiments: the paper's flagged future-work directions,
+answered on the simulator (see repro.figures.extensions)."""
+
+from repro.figures import extensions
+
+
+def test_ext_teeio(figure_runner):
+    result = figure_runner(extensions.generate_teeio)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    # TEE-IO restores near-native transfer bandwidth...
+    assert checks["teeio recovers transfer bandwidth (teeio/base, ~0.9+)"] > 0.9
+    # ...but leaves a substantial non-transfer CC tax in place.
+    removed = checks["teeio end-to-end vs cc (fraction of CC slowdown removed)"]
+    assert 0.4 < removed < 0.9
+
+
+def test_ext_crypto_scaling(figure_runner):
+    result = figure_runner(extensions.generate_crypto_scaling)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert checks["2-thread speedup over 1 thread"] > 1.5
+    assert checks["8-thread CC bandwidth / base bandwidth (still < 1)"] < 0.9
+    # Bandwidth is monotone in thread count.
+    bw = [row[1] for row in result.rows]
+    assert all(b >= a for a, b in zip(bw, bw[1:]))
+
+
+def test_ext_graph_fusion_cc(figure_runner):
+    result = figure_runner(extensions.generate_graph_fusion_cc)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    # Answer to the paper's open question: the optimum does not move
+    # toward smaller batches under CC.
+    assert checks["CC optimal batch >= base optimal batch"] == 1.0
+    # CC benefits more from batching than base does.
+    times = {(row[0], row[1]): row[2] for row in result.rows}
+    gain_base = times[("base", 1)] / times[("base", 64)]
+    gain_cc = times[("cc", 1)] / times[("cc", 64)]
+    assert gain_cc > gain_base
+
+
+def test_ext_oversubscription(figure_runner):
+    result = figure_runner(extensions.generate_oversubscription)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert checks["CC thrash blowup at 1.8x oversubscription (vs in-budget CC)"] > 100
+    assert checks["CC/base steady-state ratio while thrashing"] > 10
+    # Within budget, CC and base UVM kernels run at the same speed
+    # (data resident, Observation 5's non-UVM result recovered).
+    kets = {(row[0], row[1]): row[2] for row in result.rows}
+    assert abs(kets[(0.5, "cc")] - kets[(0.5, "base")]) / kets[(0.5, "base")] < 0.02
+
+
+def test_ext_multigpu(figure_runner):
+    result = figure_runner(extensions.generate_multigpu)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert checks["batched / plaintext all-reduce bandwidth (8 GPUs, 1 GB)"] > 0.9
+    assert checks["naive / plaintext all-reduce bandwidth (8 GPUs, 1 GB)"] < 0.75
+    # Ordering holds at every homogeneous (gpus, size) point.
+    cells = {(row[0], row[1], row[2]): row[4] for row in result.rows}
+    for (gpus, size, security), bw in cells.items():
+        if gpus == "2x2-hier" or security != "none":
+            continue
+        assert bw >= cells[(gpus, size, "batched")] >= cells[(gpus, size, "naive")]
+    # Hierarchical NVL topology: the CC PCIe bridge dominates.
+    assert checks["CC tax on cross-island (hier cc/base, 2x2 NVL pairs)"] > 3
+
+
+def test_ext_distributed_training(figure_runner):
+    result = figure_runner(extensions.generate_distributed_training)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert checks["CC scaling efficiency, 4 GPUs on NVLink fabric"] > 0.95
+    assert checks["CC scaling efficiency, 4 GPUs on NVL pairs"] < 0.75
+    # Efficiency degrades monotonically with GPU count on CC NVL pairs.
+    eff = {
+        (row[0], row[1], row[2]): row[6] for row in result.rows
+    }
+    assert eff[("nvl-pairs", "cc", 8)] <= eff[("nvl-pairs", "cc", 4)] <= eff[
+        ("nvl-pairs", "cc", 2)
+    ]
+
+
+def test_ext_model_load(figure_runner):
+    result = figure_runner(extensions.generate_model_load)
+    times = {row[0]: row[1] for row in result.rows}
+    # CC turns a sub-second model load into multiple seconds; pipelined
+    # encryption and TEE-IO each recover most of it.
+    assert times["cc"] > 7 * times["base"]
+    assert times["cc+pipelined-4t"] < 0.5 * times["cc"]
+    assert times["cc+teeio"] < 1.2 * times["base"]
+
+
+def test_ext_sensitivity(figure_runner):
+    result = figure_runner(extensions.generate_sensitivity)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert checks["copy ratios are seed-stable (max CoV, %)"] < 1.0
+    # Every reported CoV is small: the headline ratios are not
+    # artifacts of one lucky seed.
+    for row in result.rows:
+        assert row[5] < 5.0  # cov_pct
+
+
+def test_ext_attestation(figure_runner):
+    result = figure_runner(extensions.generate_attestation)
+    rows = {row[0]: row for row in result.rows}
+    # Seven SPDM messages either way; TD setup strictly slower.
+    assert rows["base"][1] == rows["cc"][1] == 7
+    assert rows["cc"][2] > rows["base"][2]
+    # Attestation dominates time-to-first-kernel at CC bring-up.
+    assert rows["cc"][2] * 1000 > rows["cc"][3]

@@ -1,0 +1,10 @@
+"""Fig. 1: end-to-end overview breakdown under CC settings."""
+
+from repro.figures import fig01_overview
+
+
+def test_fig01(figure_runner):
+    result = figure_runner(fig01_overview.generate)
+    ratios = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert ratios["cc-on / cc-off end-to-end (qualitative: > 1)"] > 1.2
+    assert ratios["cc-on-uvm / cc-on end-to-end (qualitative: >> 1)"] > 2.0

@@ -1,0 +1,13 @@
+"""Fig. 3: the performance model, validated against simulated runs."""
+
+from repro.figures import fig03_model
+
+
+def test_fig03(figure_runner):
+    result = figure_runner(fig03_model.generate)
+    max_error = result.comparisons[0]["measured"]
+    assert max_error < 0.06, f"model prediction error too high: {max_error:.3f}"
+    # Alpha is zero-ish for these non-streamed apps; betas bounded.
+    for row in result.rows:
+        assert 0.0 <= row[6] <= 1.0
+        assert 0.0 <= row[7] <= 1.0

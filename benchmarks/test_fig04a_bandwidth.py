@@ -1,0 +1,28 @@
+"""Fig. 4a: PCIe bandwidth vs transfer size."""
+
+from conftest import assert_comparisons
+
+from repro.figures import fig04_bandwidth
+
+
+def test_fig04a(figure_runner):
+    result = figure_runner(fig04_bandwidth.generate_4a)
+    assert_comparisons(result, rel_tol=0.10)
+    # Shape checks over the full curve.
+    by_key = {}
+    for size, memory, direction, mode, gbps in result.rows:
+        by_key[(size, memory, direction, mode)] = gbps
+    sizes = sorted({row[0] for row in result.rows})
+    # Monotone non-decreasing with size for every configuration.
+    for memory in ("pageable", "pinned"):
+        for mode in ("base", "cc"):
+            curve = [by_key[(s, memory, "h2d", mode)] for s in sizes]
+            assert all(b >= a * 0.99 for a, b in zip(curve, curve[1:]))
+    largest = sizes[-1]
+    # Base: pinned >> pageable; CC: near-identical (Observation 1).
+    assert by_key[(largest, "pinned", "h2d", "base")] > 1.5 * by_key[
+        (largest, "pageable", "h2d", "base")
+    ]
+    cc_pin = by_key[(largest, "pinned", "h2d", "cc")]
+    cc_page = by_key[(largest, "pageable", "h2d", "cc")]
+    assert abs(cc_pin - cc_page) / cc_page < 0.1

@@ -1,0 +1,15 @@
+"""Fig. 4b: single-core crypto throughput."""
+
+from conftest import assert_comparisons
+
+from repro.figures import fig04_bandwidth
+
+
+def test_fig04b(figure_runner):
+    result = figure_runner(fig04_bandwidth.generate_4b)
+    assert_comparisons(result, rel_tol=0.02)
+    # GHASH is the fastest but offers no confidentiality (Obs. 2).
+    emr = [row for row in result.rows if row[0].startswith("intel")]
+    fastest = max(emr, key=lambda row: row[3])
+    assert fastest[1] == "ghash"
+    assert fastest[4] == "no"

@@ -1,0 +1,15 @@
+"""Fig. 5: per-app copy times under Base vs CC."""
+
+from conftest import assert_comparisons
+
+from repro.figures import fig05_copytime
+
+
+def test_fig05(figure_runner):
+    result = figure_runner(fig05_copytime.generate)
+    # Mean within 25 %, extremes within 35 % of the paper's numbers.
+    assert_comparisons(result, rel_tol=0.25, skip_substrings=("max", "min"))
+    assert_comparisons(result, rel_tol=0.35)
+    # Every app slows down under CC.
+    slowdowns = [row[5] for row in result.rows if row[1] == "cc/base"]
+    assert all(s > 1.0 for s in slowdowns)

@@ -1,0 +1,13 @@
+"""Fig. 6: allocation/deallocation costs under Base vs CC."""
+
+from conftest import assert_comparisons
+
+from repro.figures import fig06_alloc
+
+
+def test_fig06(figure_runner):
+    result = figure_runner(fig06_alloc.generate)
+    assert_comparisons(result, rel_tol=0.20)
+    # Deallocation is hit harder than allocation under CC (Sec. VI-A).
+    ratios = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert ratios["cudaFree slowdown"] > ratios["cudaMalloc slowdown"]

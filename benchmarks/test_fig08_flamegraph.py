@@ -1,0 +1,19 @@
+"""Fig. 8: cudaLaunchKernel call stack inside a TD."""
+
+from repro.figures import fig08_flamegraph
+
+
+def test_fig08(figure_runner):
+    result = figure_runner(fig08_flamegraph.generate)
+    stacks = "\n".join(row[0] for row in result.rows)
+    # The frames the paper's flame graph highlights must appear.
+    for frame in (
+        "cudaLaunchKernel",
+        "dma_direct_alloc",
+        "set_memory_decrypted",
+        "tdx_module.__seamcall",
+        "cuModuleLoad",
+    ):
+        assert frame in stacks, frame
+    shares = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert shares["share of launch in set_memory_decrypted (qualitative: large)"] > 0.3

@@ -1,0 +1,16 @@
+"""Fig. 10: event distributions for four representative apps."""
+
+from repro.figures import fig10_events
+
+
+def test_fig10(figure_runner):
+    result = figure_runner(fig10_events.generate)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert checks["KLR panel A >> panel C"] == 1.0
+    assert checks["KLR panel B > panel D"] == 1.0
+    # Paper launch counts for panels C (sc) and D (3dconv).
+    counts = {
+        (row[0], row[2], row[3]): row[4] for row in result.rows
+    }
+    assert counts[("C", "base", "launch")] == 1611
+    assert counts[("D", "base", "launch")] == 254

@@ -1,0 +1,17 @@
+"""Fig. 11: CDFs of KLO and KET, base vs CC."""
+
+from repro.figures import fig11_cdf
+
+
+def test_fig11(figure_runner):
+    result = figure_runner(fig11_cdf.generate)
+    ratios = {c["metric"]: c["measured"] for c in result.comparisons}
+    # KLO curve shifts right under CC; KET essentially unchanged.
+    assert ratios["KLO CDF shifts right under CC (mean ratio > 1)"] > 1.15
+    ket_ratio = ratios["KET distribution ~unchanged under CC (mean ratio)"]
+    assert abs(ket_ratio - 1.0048) < 0.01
+    # Median KLO must also shift (not just first-launch outliers).
+    medians = {
+        (row[0], row[1]): row[3] for row in result.rows if row[2] == 50
+    }
+    assert medians[("klo", "cc")] > medians[("klo", "base")]

@@ -1,0 +1,34 @@
+"""Fig. 12: microbenchmarks — launch sequence, fusion, overlap."""
+
+from repro.figures import fig12_micro
+
+
+def test_fig12a(figure_runner):
+    result = figure_runner(fig12_micro.generate_12a)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    assert checks["first-launch spike over steady (base)"] > 5
+    assert 1.05 < checks["CC steady-state KLO ratio"] < 1.6
+    # CC curve sits above base at matching steady indices.
+    klo = {(row[0], row[1]): row[2] for row in result.rows}
+    steady_indices = range(10, 90)
+    cc_higher = sum(
+        1 for i in steady_indices if klo[("cc", i)] > klo[("base", i)]
+    )
+    assert cc_higher > 0.8 * len(list(steady_indices))
+
+
+def test_fig12b(figure_runner):
+    result = figure_runner(fig12_micro.generate_12b)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    # Opposite trends: mean KLO falls with launches, total KLO rises.
+    assert checks["mean KLO at 1 launch / at max launches (CC)"] > 3
+    assert checks["total KLO grows with launches (CC, max/min)"] > 3
+
+
+def test_fig12c(figure_runner):
+    result = figure_runner(fig12_micro.generate_12c)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    # Observation 8: longer KET (higher compute-to-IO) improves CC
+    # overlap; CC overlaps worse than base for short kernels.
+    assert checks["CC overlap speedup, 64 streams, KET 100ms vs 1ms (ratio > 1)"] > 1.5
+    assert checks["base vs CC overlap speedup at 64 streams, KET 1ms (base higher)"] > 1.2

@@ -1,0 +1,13 @@
+"""Fig. 14: Llama-3-8B serving speedups (vLLM vs HF, BF16 vs AWQ, CC)."""
+
+from repro.figures import fig14_llm
+
+
+def test_fig14(figure_runner):
+    result = figure_runner(fig14_llm.generate)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    # The paper's three Fig. 14 claims.
+    assert checks["all vLLM speedups > 1 (fraction)"] == 1.0
+    assert checks["AWQ > BF16 at batch <= 32"] == 1.0
+    assert checks["BF16 >= AWQ at batch 64/128"] == 1.0
+    assert checks["CC-on <= CC-off (fraction of cells)"] >= 0.9

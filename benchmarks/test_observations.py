@@ -1,0 +1,14 @@
+"""The paper's nine Observations, each re-derived from the simulator."""
+
+import pytest
+
+from repro.figures.observations import ALL_OBSERVATIONS
+
+
+@pytest.mark.parametrize("number", sorted(ALL_OBSERVATIONS))
+def test_observation(benchmark, number):
+    result = benchmark.pedantic(
+        ALL_OBSERVATIONS[number], rounds=1, iterations=1
+    )
+    print(f"\nObservation {number}: {result.claim}\n  -> {result.detail}")
+    assert result.holds, f"Observation {number} failed: {result.detail}"

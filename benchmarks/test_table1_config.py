@@ -1,0 +1,9 @@
+"""Table I: simulated system setup."""
+
+from repro.figures import table1_config
+
+
+def test_table1(figure_runner):
+    result = figure_runner(table1_config.generate)
+    components = {row[0] for row in result.rows}
+    assert {"CPU", "GPU", "PCIe", "TDX"} <= components

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""CNN training under confidential computing: a deployment planner.
+
+For each of the paper's six CIFAR-100 models, sweeps batch size and
+precision and reports the configuration that minimizes CC training
+time — reproducing the Sec. VII-B guidance (large batches amortize the
+fixed CC tax; FP16 quantization also cuts the transfer tax).
+
+Usage:
+    python examples/cnn_training_planner.py [model ...]
+"""
+
+import sys
+
+from repro import SystemConfig
+from repro.dnn import MODEL_NAMES, get, train
+
+BATCHES = (64, 256, 1024)
+PRECISIONS = ("fp32", "amp", "fp16")
+
+
+def main() -> None:
+    names = sys.argv[1:] or MODEL_NAMES
+    cc = SystemConfig.confidential()
+    base = SystemConfig.base()
+    print(f"{'model':<13}{'batch':>6}{'prec':>6}{'tput img/s':>12}"
+          f"{'cc drop %':>10}{'200-epoch hrs':>15}")
+    for name in names:
+        model = get(name)
+        best = None
+        for batch in BATCHES:
+            for precision in PRECISIONS:
+                result = train(model, batch, precision, cc)
+                reference = train(model, batch, precision, base)
+                drop = 100 * (
+                    1 - result.throughput_img_per_sec
+                    / reference.throughput_img_per_sec
+                )
+                hours = result.training_time_sec(200) / 3600
+                print(f"{name:<13}{batch:>6}{precision:>6}"
+                      f"{result.throughput_img_per_sec:>12.0f}"
+                      f"{drop:>10.1f}{hours:>15.2f}")
+                if best is None or hours < best[3]:
+                    best = (batch, precision, result.throughput_img_per_sec, hours)
+        batch, precision, tput, hours = best
+        print(f"{'-> best':<13}{batch:>6}{precision:>6}{tput:>12.0f}"
+              f"{'':>10}{hours:>15.2f}\n")
+
+
+if __name__ == "__main__":
+    main()

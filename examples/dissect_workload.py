@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Deep-dive dissection of one workload, Nsight-style.
+
+Runs an app under both modes and emits everything the paper's
+methodology produces: per-category copy times, launch/queue/execution
+metrics, the Sec.-V model decomposition, per-event CDF percentiles,
+and a Chrome-trace JSON you can open in chrome://tracing or Perfetto.
+
+Usage:
+    python examples/dissect_workload.py [app-name] [--uvm] [--trace out.json]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import SystemConfig, decompose, run_app, units
+from repro.core import copy_time_by_kind, kernel_metrics, launch_metrics, mgmt_time_by_api
+from repro.workloads import CATALOG
+
+
+def dissect(name: str, uvm: bool, trace_path: str) -> None:
+    info = CATALOG[name]
+    print(f"app: {name} ({info.suite}){' [UVM]' if uvm else ''}\n")
+    for label, config in (
+        ("CC-off", SystemConfig.base()),
+        ("CC-on", SystemConfig.confidential()),
+    ):
+        trace, _ = run_app(info.app(uvm), config, label=f"{name}|{label}")
+        launches = launch_metrics(trace)
+        kernels = kernel_metrics(trace)
+        print(f"=== {label} (span {units.to_ms(trace.span_ns()):.3f} ms) ===")
+        print(f"  launches: {launches.count}  "
+              f"KLO mean {units.to_us(launches.klo_stats().mean):.2f} us  "
+              f"LQT mean {units.to_us(launches.lqt_stats().mean):.2f} us")
+        print(f"  kernels:  {kernels.count}  "
+              f"KET mean {units.to_us(kernels.ket_stats().mean):.2f} us  "
+              f"KQT mean {units.to_us(kernels.kqt_stats().mean):.2f} us")
+        klos = [e.duration_ns for e in trace.launches()]
+        if klos:
+            p50, p95 = np.percentile(klos, [50, 95])
+            print(f"  KLO p50/p95: {units.to_us(p50):.2f} / {units.to_us(p95):.2f} us")
+        print("  copies:")
+        for kind, total in copy_time_by_kind(trace).items():
+            if total:
+                print(f"    {kind.value}: {units.to_ms(total):.3f} ms")
+        print("  memory management:")
+        for api, total in sorted(mgmt_time_by_api(trace).items()):
+            print(f"    {api}: {units.to_us(total):.1f} us")
+        print("  model decomposition:")
+        print(decompose(trace).summary())
+        print()
+        if label == "CC-on" and trace_path:
+            with open(trace_path, "w") as handle:
+                handle.write(trace.to_chrome_trace())
+            print(f"chrome trace written to {trace_path} "
+                  f"(open in chrome://tracing)\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("app", nargs="?", default="3dconv",
+                        choices=sorted(CATALOG))
+    parser.add_argument("--uvm", action="store_true",
+                        help="run the UVM (cudaMallocManaged) variant")
+    parser.add_argument("--trace", default="",
+                        help="write a Chrome-trace JSON for the CC run")
+    args = parser.parse_args()
+    dissect(args.app, args.uvm, args.trace)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run one GPU application with confidential computing off
+and on, and dissect where the overhead comes from using the paper's
+performance model (Sec. V).
+
+Usage:
+    python examples/quickstart.py [app-name]
+
+App names come from the built-in catalogue (default: sc, the paper's
+1611-launch streamcluster).  Try `2dconv` for the copy-dominated worst
+case or `gb_bfs` for a compute-dominated app that barely notices CC.
+"""
+
+import sys
+
+from repro import SystemConfig, breakdown, decompose, run_app, units
+from repro.core import kernel_to_launch_ratio
+from repro.workloads import CATALOG
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "sc"
+    info = CATALOG[app_name]
+    print(f"app: {info.name} ({info.suite}) — {info.description}\n")
+
+    traces = {}
+    for label, config in (
+        ("CC-off", SystemConfig.base()),
+        ("CC-on", SystemConfig.confidential()),
+    ):
+        trace, _ = run_app(info.app(), config, label=label)
+        traces[label] = trace
+        model = decompose(trace)
+        print(f"--- {label} ---")
+        print(model.summary())
+        print(f"  {'KLR':<26}{kernel_to_launch_ratio(trace):12.2f}")
+        print()
+
+    ratio = traces["CC-on"].span_ns() / traces["CC-off"].span_ns()
+    print(f"end-to-end CC slowdown: {ratio:.2f}x\n")
+
+    print("wall-clock attribution (CC-on):")
+    result = breakdown(traces["CC-on"])
+    for category, time_ns, share in result.rows():
+        if time_ns:
+            print(f"  {category:<14}{units.to_ms(time_ns):10.3f} ms  {share * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

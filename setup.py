@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools lacks PEP 660 / bdist_wheel support (offline boxes without the
+``wheel`` package).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of "Dissecting Performance Overheads of
+Confidential Computing on GPU-based Systems" (ISPASS 2025).
+
+A calibrated discrete-event simulator of a CPU-GPU confidential
+computing platform (Intel TDX + NVIDIA H100 CC class), a CUDA-like
+runtime on top of it, the paper's GPU performance model, its workload
+suites (Rodinia/Polybench/UVMBench/GraphBIG/Tigr-style apps, CNN
+training, LLM serving), and a harness that regenerates every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import SystemConfig, run_app, decompose
+    from repro.workloads import CATALOG
+
+    trace, _ = run_app(CATALOG["sc"].app(), SystemConfig.confidential())
+    print(decompose(trace).summary())
+"""
+
+from . import units
+from .calibration import PAPER
+from .config import CCMode, CopyKind, MemoryKind, SystemConfig
+from .core import breakdown, decompose, kernel_to_launch_ratio
+from .cuda import CudaRuntime, Machine, run_app, run_base_and_cc
+from .gpu import KernelSpec, elementwise_kernel, gemm_kernel, nanosleep_kernel
+from .profiler import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCMode",
+    "CopyKind",
+    "CudaRuntime",
+    "KernelSpec",
+    "Machine",
+    "MemoryKind",
+    "PAPER",
+    "SystemConfig",
+    "Trace",
+    "breakdown",
+    "decompose",
+    "elementwise_kernel",
+    "gemm_kernel",
+    "kernel_to_launch_ratio",
+    "nanosleep_kernel",
+    "run_app",
+    "run_base_and_cc",
+    "units",
+]

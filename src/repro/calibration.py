@@ -1,0 +1,89 @@
+"""Paper-reported reference numbers used as calibration targets.
+
+Everything the paper quotes numerically is collected here so that
+tests, benches, and EXPERIMENTS.md can compare simulated results
+against the published measurements in one place.  Values are ratios
+(CC / non-CC) unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Target:
+    """One published number with the paper location it comes from."""
+
+    value: float
+    source: str
+    kind: str = "ratio"  # "ratio" | "gbps" | "percent" | "us"
+
+
+PAPER: Dict[str, Target] = {
+    # --- Sec. VI-A: data transfer ---------------------------------------
+    "pcie.cc_pin_h2d_peak_gbps": Target(3.03, "Sec. VI-A text", "gbps"),
+    "crypto.aes_gcm_emr_gbps": Target(3.36, "Fig. 4b / Sec. VI-A", "gbps"),
+    "crypto.ghash_emr_gbps": Target(8.9, "Fig. 4b / Sec. VI-A", "gbps"),
+    "copy.mean_slowdown": Target(5.80, "Observation 3"),
+    "copy.max_slowdown": Target(19.69, "Observation 3 (2dconv)"),
+    "copy.min_slowdown": Target(1.17, "Sec. VI-A (cnn)"),
+    # --- Sec. VI-A: memory management -----------------------------------
+    "alloc.dmalloc_slowdown": Target(5.67, "Sec. VI-A (cudaMalloc)"),
+    "alloc.hmalloc_slowdown": Target(5.72, "Sec. VI-A (cudaMallocHost)"),
+    "alloc.free_slowdown": Target(10.54, "Sec. VI-A (cudaFree)"),
+    "alloc.managed_alloc_slowdown": Target(5.43, "Sec. VI-A (cudaMallocManaged)"),
+    "alloc.managed_free_slowdown": Target(3.35, "Sec. VI-A (managed cudaFree)"),
+    # Relative to the non-CC non-UVM baseline:
+    "alloc.uvm_alloc_vs_base": Target(0.51, "Sec. VI-A (non-CC UVM alloc)"),
+    "alloc.uvm_free_vs_base": Target(3.13, "Sec. VI-A (non-CC UVM free)"),
+    "alloc.cc_uvm_alloc_vs_base": Target(1.01, "Sec. VI-A (CC UVM alloc)"),
+    "alloc.cc_uvm_free_vs_base": Target(18.20, "Sec. VI-A (CC UVM free)"),
+    # --- Sec. VI-B: launch and execution --------------------------------
+    "launch.klo_mean_slowdown": Target(1.42, "Observation 4"),
+    "launch.klo_max_slowdown": Target(5.31, "Fig. 7a (dwt2d)"),
+    "launch.lqt_mean_slowdown": Target(1.43, "Observation 4"),
+    "launch.kqt_mean_slowdown": Target(2.32, "Observation 4"),
+    "tdx.hypercall_increase_percent": Target(470.0, "Sec. VI-B [16]", "percent"),
+    "ket.nonuvm_cc_increase_percent": Target(0.48, "Observation 5", "percent"),
+    "ket.uvm_noncc_slowdown": Target(5.29, "Sec. VI-B (UVM vs non-UVM)"),
+    "ket.uvm_cc_mean_slowdown": Target(188.87, "Observation 5"),
+    "ket.uvm_cc_min_slowdown": Target(1.08, "Sec. VI-B (gramschm)"),
+    "ket.uvm_cc_max_slowdown": Target(164030.65, "Sec. VI-B (2dconv)"),
+    "uvm.fault_latency_low_us": Target(20.0, "Sec. II-B", "us"),
+    "uvm.fault_latency_high_us": Target(50.0, "Sec. II-B", "us"),
+    # --- Sec. VII-B: CNN workloads (CC effects, percent) -----------------
+    "cnn.b64_throughput_drop_max": Target(36.0, "Sec. VII-B", "percent"),
+    "cnn.b64_throughput_drop_mean": Target(24.0, "Sec. VII-B", "percent"),
+    "cnn.b64_time_increase_max": Target(53.0, "Sec. VII-B", "percent"),
+    "cnn.b64_time_increase_mean": Target(31.0, "Sec. VII-B", "percent"),
+    "cnn.b1024_throughput_drop_mean": Target(7.3, "Sec. VII-B", "percent"),
+    "cnn.b1024_time_increase_mean": Target(6.7, "Sec. VII-B", "percent"),
+    "cnn.amp_b64_throughput_drop_max": Target(50.0, "Sec. VII-B", "percent"),
+    "cnn.amp_b64_throughput_drop_mean": Target(19.7, "Sec. VII-B", "percent"),
+    "cnn.amp_b64_time_increase_max": Target(92.0, "Sec. VII-B", "percent"),
+    "cnn.amp_b64_time_increase_mean": Target(50.9, "Sec. VII-B", "percent"),
+    "cnn.amp_b1024_throughput_gain_max": Target(40.8, "Sec. VII-B", "percent"),
+    "cnn.amp_b1024_throughput_gain_mean": Target(11.8, "Sec. VII-B", "percent"),
+    "cnn.amp_b1024_time_drop_mean": Target(7.8, "Sec. VII-B", "percent"),
+    "cnn.amp_b1024_time_drop_max": Target(24.4, "Sec. VII-B", "percent"),
+    "cnn.fp16_b1024_time_drop_mean": Target(27.7, "Sec. VII-B", "percent"),
+    "cnn.fp16_b1024_time_drop_max": Target(46.1, "Sec. VII-B", "percent"),
+}
+
+
+def target(key: str) -> Target:
+    """Look up a paper target, raising with context on typos."""
+    try:
+        return PAPER[key]
+    except KeyError:
+        raise KeyError(f"unknown calibration target {key!r}") from None
+
+
+def within(measured: float, key: str, rel_tol: float) -> bool:
+    """True if ``measured`` is within ``rel_tol`` of the paper value."""
+    reference = target(key).value
+    if reference == 0:
+        return abs(measured) <= rel_tol
+    return abs(measured - reference) / abs(reference) <= rel_tol

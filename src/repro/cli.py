@@ -1,0 +1,343 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+apps
+    List the workload catalogue.
+run APP [--cc] [--uvm] [--teeio] [--trace OUT.json]
+    Run one app and print its metric/model dissection.
+figures [ID ...] [--out DIR]
+    Regenerate paper figures (default: the fast ones) into DIR.
+bandwidth [--sizes N ...]
+    Print the Fig. 4a bandwidth table.
+observations [N ...]
+    Evaluate the paper's numbered observations.
+attest [--cc]
+    Run the SPDM GPU attestation flow and report its cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from . import units
+from .config import SystemConfig
+from .core import decompose, kernel_metrics, kernel_to_launch_ratio, launch_metrics
+from .cuda import run_app
+from .workloads import CATALOG
+
+
+def _config(args) -> SystemConfig:
+    config = SystemConfig.confidential() if args.cc else SystemConfig.base()
+    if getattr(args, "teeio", False):
+        config = config.replace(
+            tdx=dataclasses.replace(config.tdx, teeio=True)
+        )
+    return config
+
+
+def cmd_apps(_args) -> int:
+    print(f"{'name':<14}{'suite':<12}{'uvm':<5}description")
+    for name in sorted(CATALOG):
+        info = CATALOG[name]
+        print(f"{name:<14}{info.suite:<12}{'yes' if info.supports_uvm else 'no':<5}"
+              f"{info.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    info = CATALOG[args.app]
+    config = _config(args)
+    trace, _ = run_app(info.app(args.uvm), config, label=args.app)
+    launches = launch_metrics(trace)
+    kernels = kernel_metrics(trace)
+    mode = "cc" if args.cc else "base"
+    if getattr(args, "teeio", False):
+        mode += "+teeio"
+    print(f"{args.app} [{mode}{' uvm' if args.uvm else ''}]  "
+          f"span {units.to_ms(trace.span_ns()):.3f} ms")
+    print(f"  launches {launches.count}  "
+          f"KLO mean {units.to_us(launches.klo_stats().mean):.2f} us  "
+          f"LQT mean {units.to_us(launches.lqt_stats().mean):.2f} us")
+    print(f"  kernels  {kernels.count}  "
+          f"KET mean {units.to_us(kernels.ket_stats().mean):.2f} us  "
+          f"KQT mean {units.to_us(kernels.kqt_stats().mean):.2f} us")
+    print(f"  KLR {kernel_to_launch_ratio(trace):.2f}")
+    print(decompose(trace).summary())
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(trace.to_chrome_trace())
+        print(f"chrome trace -> {args.trace}")
+    return 0
+
+
+# Figure generators that finish in ~seconds; fig13 (CNN) runs ~12 s and
+# is included only when named explicitly.
+_FAST_FIGURES = {
+    "table1": lambda: _figures_module().table1_config.generate(),
+    "fig01": lambda: _figures_module().fig01_overview.generate(),
+    "fig03": lambda: _figures_module().fig03_model.generate(),
+    "fig04a": lambda: _figures_module().fig04_bandwidth.generate_4a(),
+    "fig04b": lambda: _figures_module().fig04_bandwidth.generate_4b(),
+    "fig05": lambda: _figures_module().fig05_copytime.generate(),
+    "fig06": lambda: _figures_module().fig06_alloc.generate(),
+    "fig07": lambda: _figures_module().fig07_launch.generate(),
+    "fig08": lambda: _figures_module().fig08_flamegraph.generate(),
+    "fig09": lambda: _figures_module().fig09_ket.generate(),
+    "fig10": lambda: _figures_module().fig10_events.generate(),
+    "fig11": lambda: _figures_module().fig11_cdf.generate(),
+    "fig12a": lambda: _figures_module().fig12_micro.generate_12a(),
+    "fig12b": lambda: _figures_module().fig12_micro.generate_12b(),
+}
+_SLOW_FIGURES = {
+    "fig12c": lambda: _figures_module().fig12_micro.generate_12c(),
+    "fig13": lambda: _figures_module().fig13_cnn.generate(),
+    "fig14": lambda: _figures_module().fig14_llm.generate(),
+    "ext": lambda: None,  # expanded below
+}
+_EXTENSIONS = ("teeio", "crypto_scaling", "graph_fusion_cc",
+               "oversubscription", "attestation", "multigpu",
+               "model_load", "sensitivity", "distributed_training")
+
+
+def _figures_module():
+    from . import figures
+
+    return figures
+
+
+def cmd_figures(args) -> int:
+    from .figures import extensions
+
+    names = args.ids or sorted(_FAST_FIGURES)
+    for name in names:
+        if name in _FAST_FIGURES:
+            result = _FAST_FIGURES[name]()
+        elif name in ("fig12c", "fig13", "fig14"):
+            result = _SLOW_FIGURES[name]()
+        elif name == "ext":
+            for ext_name in _EXTENSIONS:
+                result = getattr(extensions, f"generate_{ext_name}")()
+                print(result.to_text())
+                print(f"[saved] {result.save(args.out)}\n")
+            continue
+        elif name in _EXTENSIONS:
+            result = getattr(extensions, f"generate_{name}")()
+        else:
+            print(f"unknown figure {name!r}; known: "
+                  f"{sorted(_FAST_FIGURES) + sorted(_SLOW_FIGURES) + list(_EXTENSIONS)}",
+                  file=sys.stderr)
+            return 2
+        print(result.to_text())
+        print(f"[saved] {result.save(args.out)}\n")
+    return 0
+
+
+def cmd_bandwidth(args) -> int:
+    from .figures.fig04_bandwidth import generate_4a
+
+    sizes = [int(s) for s in args.sizes] if args.sizes else None
+    print(generate_4a(sizes=sizes).to_text())
+    return 0
+
+
+def cmd_observations(args) -> int:
+    from .figures.observations import ALL_OBSERVATIONS
+
+    numbers = [int(n) for n in args.numbers] or sorted(ALL_OBSERVATIONS)
+    failures = 0
+    for number in numbers:
+        result = ALL_OBSERVATIONS[number]()
+        status = "HOLDS" if result.holds else "FAILS"
+        print(f"Observation {number}: {status}")
+        print(f"  claim:  {result.claim}")
+        print(f"  detail: {result.detail}")
+        failures += 0 if result.holds else 1
+    return 1 if failures else 0
+
+
+def _apply_overrides(config: SystemConfig, settings: List[str]) -> SystemConfig:
+    """Apply dotted-path overrides like ``tdx.td_hypercall_ns=3000``.
+
+    Values parse as int, then float, then bool, then string.  Time
+    fields take raw nanoseconds.
+    """
+    for setting in settings:
+        if "=" not in setting:
+            raise SystemExit(f"--set needs key=value, got {setting!r}")
+        path, _, raw = setting.partition("=")
+        parts = path.split(".")
+        value: object
+        for parser in (int, float):
+            try:
+                value = parser(raw)
+                break
+            except ValueError:
+                continue
+        else:
+            value = {"true": True, "false": False}.get(raw.lower(), raw)
+        if len(parts) == 1:
+            config = config.replace(**{parts[0]: value})
+            continue
+        if len(parts) != 2:
+            raise SystemExit(f"--set supports section.field paths, got {path!r}")
+        section_name, field_name = parts
+        section = getattr(config, section_name, None)
+        if section is None or not hasattr(section, field_name):
+            raise SystemExit(f"unknown config field {path!r}")
+        config = config.replace(
+            **{section_name: dataclasses.replace(section, **{field_name: value})}
+        )
+    return config
+
+
+def cmd_whatif(args) -> int:
+    """Run one app under default CC and under CC with overrides."""
+    info = CATALOG[args.app]
+    baseline_cfg = SystemConfig.base()
+    cc_cfg = SystemConfig.confidential()
+    modified_cfg = _apply_overrides(cc_cfg, args.set or [])
+    rows = []
+    for label, config in (
+        ("base", baseline_cfg),
+        ("cc", cc_cfg),
+        ("cc+overrides", modified_cfg),
+    ):
+        trace, _ = run_app(info.app(args.uvm), config, label=label)
+        rows.append((label, trace.span_ns()))
+    base_span = rows[0][1]
+    print(f"what-if on {args.app}: {', '.join(args.set or [])}")
+    for label, span in rows:
+        print(f"  {label:<14}{units.to_ms(span):10.3f} ms   "
+              f"{span / base_span:6.2f}x of base")
+    default_cc = rows[1][1]
+    modified = rows[2][1]
+    direction = "faster" if modified < default_cc else "slower"
+    print(f"  overrides make CC {abs(1 - modified / default_cc) * 100:.1f}% "
+          f"{direction}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Apply the paper's model to an external chrome-trace capture."""
+    from .profiler import load_chrome_trace
+
+    trace = load_chrome_trace(args.trace)
+    launches = launch_metrics(trace)
+    kernels = kernel_metrics(trace)
+    print(f"{args.trace}: {len(trace)} events, "
+          f"span {units.to_ms(trace.span_ns()):.3f} ms")
+    if launches.count:
+        print(f"  launches {launches.count}  "
+              f"KLO mean {units.to_us(launches.klo_stats().mean):.2f} us  "
+              f"LQT mean {units.to_us(launches.lqt_stats().mean):.2f} us")
+    if kernels.count:
+        print(f"  kernels  {kernels.count}  "
+              f"KET mean {units.to_us(kernels.ket_stats().mean):.2f} us  "
+              f"KQT mean {units.to_us(kernels.kqt_stats().mean):.2f} us")
+        print(f"  KLR {kernel_to_launch_ratio(trace):.2f}")
+    print(decompose(trace).summary())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .figures.report import render
+
+    print(render(args.dir))
+    return 0
+
+
+def cmd_attest(args) -> int:
+    from .sim import Simulator
+    from .tdx import GuestContext, attest_gpu
+
+    config = _config(args)
+    sim = Simulator()
+    guest = GuestContext(sim, config)
+    session = sim.run(until=sim.process(attest_gpu(sim, guest, config)))
+    print(f"SPDM session established ({'TD' if args.cc else 'VM'})")
+    print(f"  messages:        {session.messages}")
+    print(f"  elapsed:         {units.to_ms(session.elapsed_ns):.3f} ms")
+    print(f"  session key:     {session.session_key.hex()}")
+    print(f"  transcript hash: {session.transcript_hash.hex()}")
+    print(f"  measurement:     {session.measurement.hex()[:32]}...")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the workload catalogue")
+
+    run_p = sub.add_parser("run", help="run one app and dissect it")
+    run_p.add_argument("app", choices=sorted(CATALOG))
+    run_p.add_argument("--cc", action="store_true")
+    run_p.add_argument("--uvm", action="store_true")
+    run_p.add_argument("--teeio", action="store_true",
+                       help="enable the TEE-IO what-if (with --cc)")
+    run_p.add_argument("--trace", default="", help="chrome-trace output path")
+
+    fig_p = sub.add_parser("figures", help="regenerate paper figures")
+    fig_p.add_argument("ids", nargs="*",
+                       help="figure ids (default: all fast figures)")
+    fig_p.add_argument("--out", default="results")
+
+    bw_p = sub.add_parser("bandwidth", help="Fig. 4a bandwidth table")
+    bw_p.add_argument("--sizes", nargs="*", default=None)
+
+    obs_p = sub.add_parser("observations", help="evaluate Observations 1-9")
+    obs_p.add_argument("numbers", nargs="*", default=[])
+
+    att_p = sub.add_parser("attest", help="run SPDM GPU attestation")
+    att_p.add_argument("--cc", action="store_true")
+
+    rep_p = sub.add_parser(
+        "report", help="aggregate paper-vs-measured from results/"
+    )
+    rep_p.add_argument("--dir", default="results")
+
+    ana_p = sub.add_parser(
+        "analyze", help="apply the Sec.-V model to a chrome-trace file"
+    )
+    ana_p.add_argument("trace", help="chrome-trace JSON path")
+
+    what_p = sub.add_parser(
+        "whatif", help="run an app under CC with config overrides"
+    )
+    what_p.add_argument("app", choices=sorted(CATALOG))
+    what_p.add_argument("--uvm", action="store_true")
+    what_p.add_argument(
+        "--set", action="append", metavar="SECTION.FIELD=VALUE",
+        help="e.g. --set tdx.td_hypercall_ns=1300 --set tdx.teeio=true",
+    )
+
+    return parser
+
+
+_COMMANDS = {
+    "apps": cmd_apps,
+    "run": cmd_run,
+    "figures": cmd_figures,
+    "bandwidth": cmd_bandwidth,
+    "observations": cmd_observations,
+    "attest": cmd_attest,
+    "report": cmd_report,
+    "analyze": cmd_analyze,
+    "whatif": cmd_whatif,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

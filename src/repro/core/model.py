@@ -1,0 +1,154 @@
+"""The paper's GPU performance model (Sec. V, Fig. 3).
+
+End-to-end application time P decomposes into four parts:
+
+    P = (1 - alpha) * T_mem                       (A: data transfer)
+      + sum_i (KLO_i + LQT_i)                     (B: launch + queuing)
+      + sum_i (1 - beta_i) * (KET_i + KQT_i)      (C: execution + queuing)
+      + T_other                                   (D: alloc/free/sync)
+
+``alpha`` is the fraction of memory-copy time hidden under other
+activity (raised by CUDA streams, Sec. VII-A); ``beta_i`` is the
+fraction of kernel i's (KET+KQT) interval hidden under part B — for a
+kernel fully covered by concurrent launch activity beta_i = 1 and it
+contributes nothing beyond the launches themselves (the low-KLR
+regime of Observation 6).
+
+:func:`decompose` measures all parameters from a trace; the resulting
+:class:`ModelDecomposition` both *predicts* P and reports the part
+totals the figures use.  Prediction quality against the simulated
+wall-clock is validated in the Fig. 3 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .. import units
+from ..profiler import EventKind, Trace
+from . import intervals
+from .metrics import kernel_metrics, launch_metrics
+
+
+@dataclass(frozen=True)
+class ModelDecomposition:
+    """Measured model parameters and part totals, all in nanoseconds."""
+
+    t_mem_ns: int  # total memory-copy busy time (union)
+    alpha: float  # overlapped fraction of T_mem
+    part_b_ns: int  # sum(KLO + LQT)
+    part_c_raw_ns: int  # sum(KET + KQT), before beta discount
+    part_c_ns: int  # sum((1 - beta_i) (KET_i + KQT_i))
+    betas: List[float]
+    t_other_ns: int  # alloc + free + non-overlapped sync
+    span_ns: int  # observed wall-clock span of the trace
+
+    @property
+    def part_a_ns(self) -> int:
+        return int((1.0 - self.alpha) * self.t_mem_ns)
+
+    @property
+    def predicted_ns(self) -> int:
+        return self.part_a_ns + self.part_b_ns + self.part_c_ns + self.t_other_ns
+
+    @property
+    def mean_beta(self) -> float:
+        return sum(self.betas) / len(self.betas) if self.betas else 0.0
+
+    @property
+    def prediction_error(self) -> float:
+        """Relative error of the model prediction vs observed span."""
+        if self.span_ns == 0:
+            return 0.0
+        return (self.predicted_ns - self.span_ns) / self.span_ns
+
+    def summary(self) -> str:
+        rows = [
+            ("A: (1-a)*T_mem", self.part_a_ns),
+            ("B: sum(KLO+LQT)", self.part_b_ns),
+            ("C: sum((1-b)(KET+KQT))", self.part_c_ns),
+            ("D: T_other", self.t_other_ns),
+            ("P predicted", self.predicted_ns),
+            ("P observed", self.span_ns),
+        ]
+        lines = [
+            f"  {label:<26}{units.to_ms(value):12.3f} ms" for label, value in rows
+        ]
+        lines.append(
+            f"  {'alpha':<26}{self.alpha:12.3f}\n"
+            f"  {'mean beta':<26}{self.mean_beta:12.3f}\n"
+            f"  {'relative error':<26}{self.prediction_error * 100:11.2f} %"
+        )
+        return "\n".join(lines)
+
+
+def decompose(trace: Trace) -> ModelDecomposition:
+    """Measure the Sec.-V model parameters from a trace.
+
+    Part totals are computed over interval *unions*: when kernels are
+    strictly sequential (the paper's Fig.-3 setting) the union equals
+    the paper's per-kernel sum, and when deep launch queues make
+    (KET+KQT) intervals overlap — e.g. 254 back-to-back 3dconv
+    launches all queued at once — the union avoids double-counting the
+    shared waiting time.  The reported ``betas`` keep the paper's
+    per-kernel definition: the fraction of kernel i's (KET+KQT)
+    interval hidden under part B.
+    """
+    mem_iv = [(e.start_ns, e.end_ns) for e in trace.memcpys()]
+    launch_iv = [
+        (e.start_ns - e.queue_ns, e.end_ns) for e in trace.launches()
+    ]
+    kernel_iv = [
+        (e.start_ns - e.queue_ns, e.end_ns) for e in trace.kernels()
+    ]
+    mgmt_iv = [
+        (e.start_ns, e.end_ns)
+        for e in trace.of_kind(EventKind.ALLOC) + trace.of_kind(EventKind.FREE)
+    ]
+    sync_iv = [(e.start_ns, e.end_ns) for e in trace.of_kind(EventKind.SYNC)]
+
+    # --- part A: memory time and its hidden fraction alpha -------------
+    t_mem = intervals.union_length(mem_iv)
+    hiders = launch_iv + kernel_iv
+    alpha = (
+        intervals.union_overlap(mem_iv, hiders) / t_mem if t_mem > 0 else 0.0
+    )
+
+    # --- part B: launch activity (union == sum for one CPU thread) -----
+    merged_launch = intervals.merge(launch_iv)
+    part_b = intervals.total_length(merged_launch)
+
+    # --- part C: kernel (KET+KQT) activity not hidden under part B -----
+    betas: List[float] = []
+    part_c_raw = 0
+    for start, end in kernel_iv:
+        length = end - start
+        part_c_raw += length
+        if length <= 0:
+            betas.append(0.0)
+            continue
+        betas.append(
+            intervals.overlap_with_union((start, end), merged_launch) / length
+        )
+    part_c = intervals.total_length(
+        intervals.subtract(kernel_iv, merged_launch)
+    )
+
+    # --- part D: management plus sync not already hidden above ---------
+    mgmt_total = intervals.union_length(mgmt_iv)
+    sync_exposed = intervals.total_length(
+        intervals.subtract(sync_iv, kernel_iv + launch_iv + mem_iv)
+    )
+    t_other = mgmt_total + sync_exposed
+
+    return ModelDecomposition(
+        t_mem_ns=t_mem,
+        alpha=alpha,
+        part_b_ns=part_b,
+        part_c_raw_ns=part_c_raw,
+        part_c_ns=part_c,
+        betas=betas,
+        t_other_ns=t_other,
+        span_ns=trace.span_ns(),
+    )

@@ -1,0 +1,22 @@
+"""Cryptographic substrate of the CC stack.
+
+Functional, from-scratch implementations of the ciphers the paper's
+system actually uses (AES-GCM for PCIe traffic, AES-XTS for TME-MK
+memory encryption, GHASH as the authentication-only alternative), plus
+the calibrated single-core throughput model used for simulated timing
+(paper Fig. 4b).
+"""
+
+from .aes import AES
+from .modes import AESCTR, AESGCM, AESXTS, GHASH, AuthenticationError
+from . import throughput
+
+__all__ = [
+    "AES",
+    "AESCTR",
+    "AESGCM",
+    "AESXTS",
+    "GHASH",
+    "AuthenticationError",
+    "throughput",
+]

@@ -1,0 +1,196 @@
+"""AES block cipher (FIPS-197), implemented from scratch.
+
+This is a straightforward table-free implementation (S-box lookups plus
+explicit MixColumns arithmetic) supporting AES-128/192/256.  It is used
+*functionally* by the simulator: transfer payloads really are encrypted
+into the bounce buffer with AES-GCM (see :mod:`repro.crypto.gcm`), and
+TD private memory contents can be encrypted with AES-XTS, so end-to-end
+tests can assert that plaintext round-trips through the full CC data
+path.
+
+Performance of this pure-Python code is deliberately *not* what the
+simulator uses for timing; simulated encryption time comes from the
+calibrated single-core throughput model in
+:mod:`repro.crypto.throughput` (paper Fig. 4b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+_INV_SBOX = [0] * 256
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8]
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) mod x^8+x^4+x^3+x+1."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = _xtime(a)
+    return result
+
+
+class AES:
+    """AES block cipher with 128/192/256-bit keys."""
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError("AES key must be 16, 24, or 32 bytes")
+        self.key = bytes(key)
+        self._nr = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    # -- key schedule ----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self._nr + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group into 16-byte round keys (column-major state layout).
+        round_keys = []
+        for rnd in range(self._nr + 1):
+            rk = []
+            for w in words[4 * rnd : 4 * rnd + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # -- round operations (state is a flat list, column-major) -----------
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # state[col*4 + row]; row r shifts left by r.
+        s = state
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        s = state
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            i = 4 * c
+            a0, a1, a2, a3 = state[i : i + 4]
+            state[i + 0] = _xtime(a0) ^ (_xtime(a1) ^ a1) ^ a2 ^ a3
+            state[i + 1] = a0 ^ _xtime(a1) ^ (_xtime(a2) ^ a2) ^ a3
+            state[i + 2] = a0 ^ a1 ^ _xtime(a2) ^ (_xtime(a3) ^ a3)
+            state[i + 3] = (_xtime(a0) ^ a0) ^ a1 ^ a2 ^ _xtime(a3)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            i = 4 * c
+            a0, a1, a2, a3 = state[i : i + 4]
+            state[i + 0] = _gmul(a0, 14) ^ _gmul(a1, 11) ^ _gmul(a2, 13) ^ _gmul(a3, 9)
+            state[i + 1] = _gmul(a0, 9) ^ _gmul(a1, 14) ^ _gmul(a2, 11) ^ _gmul(a3, 13)
+            state[i + 2] = _gmul(a0, 13) ^ _gmul(a1, 9) ^ _gmul(a2, 14) ^ _gmul(a3, 11)
+            state[i + 3] = _gmul(a0, 11) ^ _gmul(a1, 13) ^ _gmul(a2, 9) ^ _gmul(a3, 14)
+
+    # -- public block API --------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self._nr):
+            self._sub_bytes(state)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._nr])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._nr])
+        for rnd in range(self._nr - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

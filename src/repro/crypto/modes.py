@@ -1,0 +1,221 @@
+"""AES modes of operation used by the CC stack.
+
+* CTR — keystream base for GCM and a throughput comparison point.
+* GCM — AEAD used for CPU<->GPU PCIe traffic under H100 CC
+  (paper Sec. II-A / III: "communication over the PCIe bus is encrypted
+  using AES-GCM ... implemented in software using OpenSSL with AES-NI").
+* GHASH/GMAC — authentication-only alternative the paper measures at up
+  to 8.9 GB/s "at the cost of confidentiality" (Observation 2).
+* XTS — counter-less mode used by Intel TME-MK for TD private DRAM
+  (paper Sec. II-A).
+
+All implementations are functional and validated against NIST test
+vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .aes import AES
+
+
+class AuthenticationError(ValueError):
+    """GCM tag verification failed."""
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _inc32(block: bytes) -> bytes:
+    """Increment the low 32 bits of a 16-byte counter block (GCM inc32)."""
+    prefix, counter = block[:12], int.from_bytes(block[12:], "big")
+    counter = (counter + 1) & 0xFFFFFFFF
+    return prefix + counter.to_bytes(4, "big")
+
+
+class AESCTR:
+    """AES in counter mode with a full-width 128-bit big-endian counter."""
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+
+    def crypt(self, nonce: bytes, data: bytes) -> bytes:
+        """Encrypt or decrypt (CTR is symmetric)."""
+        if len(nonce) != 16:
+            raise ValueError("CTR nonce must be 16 bytes")
+        counter = int.from_bytes(nonce, "big")
+        out = bytearray()
+        for offset in range(0, len(data), 16):
+            keystream = self._aes.encrypt_block(
+                (counter & ((1 << 128) - 1)).to_bytes(16, "big")
+            )
+            chunk = data[offset : offset + 16]
+            out.extend(_xor_bytes(chunk, keystream[: len(chunk)]))
+            counter += 1
+        return bytes(out)
+
+
+# --- GHASH -------------------------------------------------------------------
+
+_R = 0xE1 << 120  # GCM reduction polynomial representation
+
+
+def _gf128_mul(x: int, y: int) -> int:
+    """Multiply in GF(2^128) with the GCM bit ordering."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+class GHASH:
+    """GHASH universal hash over GF(2^128) (NIST SP 800-38D)."""
+
+    def __init__(self, h: bytes) -> None:
+        if len(h) != 16:
+            raise ValueError("GHASH subkey must be 16 bytes")
+        self._h = int.from_bytes(h, "big")
+        self._y = 0
+
+    def update(self, data: bytes) -> "GHASH":
+        """Absorb data, zero-padded to a 16-byte boundary."""
+        for offset in range(0, len(data), 16):
+            block = data[offset : offset + 16].ljust(16, b"\x00")
+            self._y = _gf128_mul(
+                self._y ^ int.from_bytes(block, "big"), self._h
+            )
+        return self
+
+    def digest(self) -> bytes:
+        return self._y.to_bytes(16, "big")
+
+
+class AESGCM:
+    """AES-GCM AEAD (NIST SP 800-38D), 96-bit IVs, 128-bit tags."""
+
+    TAG_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+        self._h = self._aes.encrypt_block(b"\x00" * 16)
+
+    def _j0(self, iv: bytes) -> bytes:
+        if len(iv) == 12:
+            return iv + b"\x00\x00\x00\x01"
+        ghash = GHASH(self._h)
+        ghash.update(iv)
+        ghash.update(b"\x00" * 8 + (8 * len(iv)).to_bytes(8, "big"))
+        return ghash.digest()
+
+    def _gctr(self, icb: bytes, data: bytes) -> bytes:
+        out = bytearray()
+        cb = icb
+        for offset in range(0, len(data), 16):
+            keystream = self._aes.encrypt_block(cb)
+            chunk = data[offset : offset + 16]
+            out.extend(_xor_bytes(chunk, keystream[: len(chunk)]))
+            cb = _inc32(cb)
+        return bytes(out)
+
+    def _tag(self, j0: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        ghash = GHASH(self._h)
+        ghash.update(aad)
+        ghash.update(ciphertext)
+        lengths = (8 * len(aad)).to_bytes(8, "big") + (
+            8 * len(ciphertext)
+        ).to_bytes(8, "big")
+        ghash.update(lengths)
+        return _xor_bytes(self._aes.encrypt_block(j0), ghash.digest())
+
+    def encrypt(
+        self, iv: bytes, plaintext: bytes, aad: bytes = b""
+    ) -> Tuple[bytes, bytes]:
+        """Return (ciphertext, tag)."""
+        j0 = self._j0(iv)
+        ciphertext = self._gctr(_inc32(j0), plaintext)
+        return ciphertext, self._tag(j0, aad, ciphertext)
+
+    def decrypt(
+        self, iv: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b""
+    ) -> bytes:
+        """Verify tag and return plaintext; raises AuthenticationError."""
+        j0 = self._j0(iv)
+        expected = self._tag(j0, aad, ciphertext)
+        if not _constant_time_eq(expected, tag):
+            raise AuthenticationError("AES-GCM tag mismatch")
+        return self._gctr(_inc32(j0), ciphertext)
+
+
+def _constant_time_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0
+
+
+class AESXTS:
+    """AES-XTS (IEEE 1619 / NIST SP 800-38E), the TME-MK cipher.
+
+    XTS is counter-less: the tweak is derived from the data unit (page)
+    address, so no per-line metadata must be stored — the property the
+    paper highlights as the reason TME-MK can protect the entire memory
+    space cheaply (Sec. II-A).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (32, 64):
+            raise ValueError("XTS key must be 32 (2x128) or 64 (2x256) bytes")
+        half = len(key) // 2
+        self._data_cipher = AES(key[:half])
+        self._tweak_cipher = AES(key[half:])
+
+    @staticmethod
+    def _mul_alpha(tweak: int) -> int:
+        """Multiply tweak by the primitive alpha in GF(2^128), XTS layout."""
+        carry = (tweak >> 127) & 1
+        tweak = (tweak << 1) & ((1 << 128) - 1)
+        if carry:
+            tweak ^= 0x87
+        return tweak
+
+    def _crypt(self, sector: int, data: bytes, encrypt: bool) -> bytes:
+        if len(data) < 16:
+            raise ValueError("XTS data unit must be at least one block")
+        if len(data) % 16 != 0:
+            raise NotImplementedError(
+                "ciphertext stealing not required for page-aligned memory"
+            )
+        tweak_block = self._tweak_cipher.encrypt_block(
+            sector.to_bytes(16, "little")
+        )
+        # XTS tweak arithmetic operates on the little-endian integer view.
+        tweak = int.from_bytes(tweak_block, "little")
+        op = (
+            self._data_cipher.encrypt_block
+            if encrypt
+            else self._data_cipher.decrypt_block
+        )
+        out = bytearray()
+        for offset in range(0, len(data), 16):
+            t_bytes = tweak.to_bytes(16, "little")
+            block = _xor_bytes(data[offset : offset + 16], t_bytes)
+            block = op(block)
+            out.extend(_xor_bytes(block, t_bytes))
+            tweak = self._mul_alpha(tweak)
+        return bytes(out)
+
+    def encrypt(self, sector: int, plaintext: bytes) -> bytes:
+        return self._crypt(sector, plaintext, encrypt=True)
+
+    def decrypt(self, sector: int, ciphertext: bytes) -> bytes:
+        return self._crypt(sector, ciphertext, encrypt=False)

@@ -1,0 +1,23 @@
+"""CUDA-like runtime over the simulated CC platform."""
+
+from .machine import Machine, run_app, run_base_and_cc
+from .memory import Buffer, DeviceBuffer, HostBuffer, ManagedBuffer
+from .runtime import CudaError, CudaGraph, CudaRuntime, Stream
+from .transfers import TransferPlan, achieved_bandwidth_gbps, plan_copy
+
+__all__ = [
+    "Buffer",
+    "CudaError",
+    "CudaGraph",
+    "CudaRuntime",
+    "DeviceBuffer",
+    "HostBuffer",
+    "Machine",
+    "ManagedBuffer",
+    "Stream",
+    "TransferPlan",
+    "achieved_bandwidth_gbps",
+    "plan_copy",
+    "run_app",
+    "run_base_and_cc",
+]

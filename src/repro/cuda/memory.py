@@ -1,0 +1,58 @@
+"""Memory objects handed out by the CUDA-like runtime.
+
+Three host-visible kinds (paper Sec. II-B / VI-A):
+
+* pageable host memory (plain malloc),
+* pinned host memory (cudaMallocHost) — under CC, pinned memory is
+  *implemented with pageable/UVM mechanisms* (Observation 1), tracked
+  via ``cc_uvm_backed``;
+* managed memory (cudaMallocManaged) — UVM, migrates on demand.
+
+Buffers optionally carry real payload bytes so tests can verify the
+functional encryption path end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import MemoryKind
+
+
+@dataclass
+class Buffer:
+    """Base class for all runtime-managed memory objects."""
+
+    address: int
+    size: int
+    kind: MemoryKind
+    freed: bool = False
+    payload: Optional[bytes] = None
+
+    def write(self, data: bytes) -> None:
+        if len(data) > self.size:
+            raise ValueError("payload larger than buffer")
+        self.payload = bytes(data)
+
+    def read(self) -> bytes:
+        return self.payload or b""
+
+
+@dataclass
+class HostBuffer(Buffer):
+    pinned: bool = False
+    # Under CC, "pinned" host memory is backed by UVM encrypted paging
+    # (Observation 1); Nsight then labels its copies Managed/D2D.
+    cc_uvm_backed: bool = False
+
+
+@dataclass
+class DeviceBuffer(Buffer):
+    pass
+
+
+@dataclass
+class ManagedBuffer(Buffer):
+    uvm_handle: int = 0
+    attrs: dict = field(default_factory=dict)

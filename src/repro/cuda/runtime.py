@@ -1,0 +1,549 @@
+"""CUDA-like runtime API over the simulated machine.
+
+All public methods are generator coroutines: application code is a
+process that ``yield from``s runtime calls, exactly mirroring how a
+CUDA host thread blocks in the driver.  The runtime implements the
+paper's measured API surface:
+
+* cudaMalloc / cudaMallocHost / cudaMallocManaged / cudaFree (Fig. 6)
+* cudaMemcpy / cudaMemcpyAsync over pageable, pinned and managed
+  memory with the full CC bounce+AES-GCM path (Fig. 4a / Fig. 5)
+* cudaLaunchKernel with the TD launch path — first-launch bounce
+  setup, hypercall-mediated driver work, launch-queue credits — that
+  produces KLO/LQT/KQT behaviour (Fig. 7, 8, 11, 12)
+* streams, cudaDeviceSynchronize, and CUDA graphs (Sec. VII-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from .. import units
+from ..config import CopyKind, MemoryKind, SystemConfig
+from ..crypto import AESGCM
+from ..gpu import GPU, KernelCommand, KernelSpec
+from ..gpu.device import CopyCommand
+from ..profiler import (
+    Trace,
+    alloc_event,
+    free_event,
+    launch_event,
+    memcpy_event,
+    sync_event,
+)
+from ..sim import Event, Simulator
+from ..tdx import GuestContext
+from .memory import Buffer, DeviceBuffer, HostBuffer, ManagedBuffer
+from .transfers import TransferPlan, plan_copy
+
+
+class CudaError(RuntimeError):
+    """Runtime misuse (double free, bad copy direction...)."""
+
+
+class Stream:
+    """An in-order work queue; tail is the last submitted op's event."""
+
+    _ids = itertools.count(0)
+
+    def __init__(self) -> None:
+        self.id = next(Stream._ids)
+        self.tail: Optional[Event] = None
+
+
+@dataclass
+class CudaGraph:
+    """An instantiated CUDA graph: a chain of kernel nodes."""
+
+    nodes: List[Tuple[KernelSpec, Tuple[Tuple[int, int], ...]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+
+class CudaRuntime:
+    """The per-application CUDA runtime instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        guest: GuestContext,
+        gpu: GPU,
+        trace: Trace,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.guest = guest
+        self.gpu = gpu
+        self.trace = trace
+        self.default_stream = Stream()
+        self._streams: List[Stream] = [self.default_stream]
+        self._seen_kernels: set = set()
+        self._hypercall_accum = 0.0
+        self._last_launch_end: Optional[int] = None
+        # Functional transfer crypto (independent of the timing model).
+        self._gcm = AESGCM(b"hcc-session-key!")  # 16-byte session key
+        self._iv_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Memory management (Fig. 6 cost model)
+    # ------------------------------------------------------------------
+
+    def _mgmt_cost_ns(self, base: str) -> Generator:
+        """Timed driver work of an allocation-family API."""
+        spec = self.config.alloc
+        suffix = "_cc" if self.config.cc_on else ""
+        base_ns = getattr(spec, f"{base}{suffix}_base_ns")
+        per_page = getattr(spec, f"{base}{suffix}_per_page_ns")
+        return base_ns, per_page
+
+    def _timed_mgmt(self, which: str, api: str, size: int) -> Generator:
+        base_ns, per_page = self._mgmt_cost_ns(which)
+        num_pages = units.pages(size, self.config.tdx.page_size)
+        cost = self.guest.jitter(int(base_ns + per_page * num_pages), 0.05)
+        start = self.sim.now
+        with self.guest.stacks.frame(api):
+            yield from self.guest.cpu_work(cost)
+        return start, self.sim.now - start
+
+    def malloc(self, size: int) -> Generator:
+        """cudaMalloc: device-memory allocation."""
+        start, duration = yield from self._timed_mgmt("dmalloc", "cudaMalloc", size)
+        address = self.gpu.hbm.alloc(size)
+        self.trace.add(alloc_event("cudaMalloc", start, duration, size))
+        return DeviceBuffer(address, size, MemoryKind.DEVICE)
+
+    def malloc_host(self, size: int) -> Generator:
+        """cudaMallocHost: pinned host memory.
+
+        Under CC, native pinning is impossible (TDX isolation); the
+        driver falls back to UVM-backed pageable mechanisms
+        (Observation 1) — same API, different machinery underneath.
+        """
+        start, duration = yield from self._timed_mgmt(
+            "hmalloc", "cudaMallocHost", size
+        )
+        address = self.guest.memory.alloc(size)
+        self.trace.add(alloc_event("cudaMallocHost", start, duration, size))
+        return HostBuffer(
+            address,
+            size,
+            MemoryKind.PINNED,
+            pinned=True,
+            cc_uvm_backed=self.config.cc_on,
+        )
+
+    def host_alloc(self, size: int) -> Generator:
+        """Plain pageable malloc: cheap, not a CUDA API, untraced."""
+        yield from self.guest.cpu_work(units.us(1.0))
+        address = self.guest.memory.alloc(size)
+        return HostBuffer(address, size, MemoryKind.PAGEABLE, pinned=False)
+
+    def malloc_managed(self, size: int) -> Generator:
+        """cudaMallocManaged: UVM allocation (lazy backing)."""
+        start, duration = yield from self._timed_mgmt(
+            "managed_alloc", "cudaMallocManaged", size
+        )
+        address = self.guest.memory.alloc(size)
+        handle = self.gpu.uvm.register(size)
+        self.trace.add(alloc_event("cudaMallocManaged", start, duration, size))
+        return ManagedBuffer(
+            address, size, MemoryKind.MANAGED, uvm_handle=handle
+        )
+
+    def free(self, buffer: Buffer) -> Generator:
+        """cudaFree / cudaFreeHost, dispatched on the buffer kind."""
+        if buffer.freed:
+            raise CudaError("double free")
+        if isinstance(buffer, DeviceBuffer):
+            which, api = "free", "cudaFree"
+        elif isinstance(buffer, ManagedBuffer):
+            which, api = "managed_free", "cudaFree(managed)"
+        elif isinstance(buffer, HostBuffer) and buffer.pinned:
+            which, api = "hmalloc", "cudaFreeHost"  # symmetric unpin cost
+        else:
+            # Plain host memory: free() is trivial and untraced.
+            self.guest.memory.free(buffer.address)
+            buffer.freed = True
+            yield from self.guest.cpu_work(units.ns(600))
+            return None
+        start, duration = yield from self._timed_mgmt(which, api, buffer.size)
+        if isinstance(buffer, DeviceBuffer):
+            self.gpu.hbm.free(buffer.address)
+        else:
+            self.guest.memory.free(buffer.address)
+            if isinstance(buffer, ManagedBuffer):
+                self.gpu.uvm.unregister(buffer.uvm_handle)
+        buffer.freed = True
+        self.trace.add(free_event(api, start, duration, buffer.size))
+        return None
+
+    # ------------------------------------------------------------------
+    # Memory copies (Fig. 4a / Fig. 5)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _infer_copy(dst: Buffer, src: Buffer) -> Tuple[CopyKind, MemoryKind]:
+        dst_dev = isinstance(dst, DeviceBuffer)
+        src_dev = isinstance(src, DeviceBuffer)
+        if src_dev and dst_dev:
+            return CopyKind.D2D, MemoryKind.DEVICE
+        if dst_dev:
+            return CopyKind.H2D, src.kind
+        if src_dev:
+            return CopyKind.D2H, dst.kind
+        raise CudaError("host-to-host copies are not a GPU operation")
+
+    def _functional_transfer(
+        self, dst: Buffer, src: Buffer, size: int
+    ) -> None:
+        """Move real payload bytes, exercising the bounce+GCM data path."""
+        if src.payload is None:
+            return
+        data = src.payload[:size]
+        if self.config.cc_on and (
+            isinstance(dst, DeviceBuffer) or isinstance(src, DeviceBuffer)
+        ):
+            iv = next(self._iv_counter).to_bytes(12, "big")
+            ciphertext, tag = self._gcm.encrypt(iv, data)
+            slot = self.guest.bounce.alloc(max(len(ciphertext), 1))
+            self.guest.bounce.stage(slot, ciphertext)
+            # Far side decrypts; verify integrity as the hardware would.
+            data = self._gcm.decrypt(iv, self.guest.bounce.peek(slot), tag)
+            self.guest.bounce.free(slot)
+        dst.payload = data
+
+    @staticmethod
+    def _take_warmth(dst: Buffer, src: Buffer, copy_kind: CopyKind) -> bool:
+        """Residency-based cold/warm classification for UVM-backed
+        buffers: a copy is cold unless the buffer's pages already moved
+        in this direction last time (H2D after D2H must migrate pages
+        back, and vice versa)."""
+        cold = False
+        for buffer in (dst, src):
+            if isinstance(buffer, DeviceBuffer):
+                continue
+            if getattr(buffer, "_last_dir", None) is not copy_kind:
+                cold = True
+            buffer._last_dir = copy_kind
+        return cold
+
+    def memcpy(
+        self,
+        dst: Buffer,
+        src: Buffer,
+        size: Optional[int] = None,
+        cold: Optional[bool] = None,
+    ) -> Generator:
+        """Blocking cudaMemcpy (the paper notes copy APIs are blocking)."""
+        size = size if size is not None else min(dst.size, src.size)
+        if size > dst.size or size > src.size:
+            raise CudaError("copy larger than buffer")
+        copy_kind, memory = self._infer_copy(dst, src)
+        if cold is None:
+            cold = self._take_warmth(dst, src, copy_kind)
+        # Default-stream ordering: wait for outstanding GPU work.
+        tail = self.default_stream.tail
+        if tail is not None and not tail.processed:
+            yield tail
+        plan = plan_copy(self.config, self.guest, copy_kind, size, memory, cold)
+        engine = self.gpu.copy_engine(copy_kind).request()
+        yield engine
+        try:
+            start = self.sim.now
+            yield self.sim.timeout(plan.total_ns)
+            self.guest.hypercall_count += plan.hypercalls
+            self._functional_transfer(dst, src, size)
+            self.trace.add(
+                memcpy_event(
+                    copy_kind,
+                    start,
+                    self.sim.now - start,
+                    size,
+                    memory,
+                    stream=self.default_stream.id,
+                    managed=plan.managed_label,
+                )
+            )
+        finally:
+            self.gpu.copy_engine(copy_kind).release(engine)
+        return plan
+
+    def memcpy_async(
+        self,
+        dst: Buffer,
+        src: Buffer,
+        stream: Stream,
+        size: Optional[int] = None,
+    ) -> Generator:
+        """cudaMemcpyAsync: CPU-side staging/crypto is synchronous (a
+        single OpenSSL worker under CC — the reason overlap is harder
+        with CC on, Fig. 12c); the DMA portion runs on a copy engine."""
+        size = size if size is not None else min(dst.size, src.size)
+        copy_kind, memory = self._infer_copy(dst, src)
+        cold = self._take_warmth(dst, src, copy_kind)
+        plan = plan_copy(self.config, self.guest, copy_kind, size, memory, cold)
+        # API + synchronous CPU-resident portion.  The staging/crypto
+        # work blocks the calling thread, so it is traced as its own
+        # memcpy-staging event — this is the un-hideable part of an
+        # "async" copy under CC (single OpenSSL worker).
+        yield from self.guest.cpu_work(units.us(1.2))
+        if plan.cpu_ns:
+            staging_start = self.sim.now
+            with self.guest.stacks.frame("cudaMemcpyAsync.staging"):
+                yield from self.guest.cpu_work(plan.cpu_ns)
+            staging_event = memcpy_event(
+                copy_kind,
+                staging_start,
+                self.sim.now - staging_start,
+                size,
+                memory,
+                stream=stream.id,
+                managed=plan.managed_label,
+            )
+            staging_event.attrs["staging"] = True
+            self.trace.add(staging_event)
+        self.guest.hypercall_count += plan.hypercalls
+        done = self.sim.event()
+        command = CopyCommand(
+            copy_kind=copy_kind,
+            memory=memory,
+            size_bytes=size,
+            gpu_time_ns=plan.setup_ns + plan.dma_ns,
+            stream=stream.id,
+            enqueued_ns=self.sim.now,
+            done=done,
+            predecessor=stream.tail,
+            managed_label=plan.managed_label,
+        )
+        yield self.gpu.submit(command)
+        stream.tail = done
+        self._functional_transfer(dst, src, size)
+        return done
+
+    # ------------------------------------------------------------------
+    # Kernel launch (Fig. 7 / 8 / 11 / 12)
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: KernelSpec,
+        stream: Optional[Stream] = None,
+        managed_touches: Sequence[Tuple[ManagedBuffer, int]] = (),
+    ) -> Generator:
+        """cudaLaunchKernel: returns the kernel's completion event.
+
+        ``managed_touches`` lists (managed buffer, bytes touched) pairs;
+        non-resident chunks fault and migrate during execution.
+        """
+        stream = stream or self.default_stream
+        launch_cfg = self.config.launch
+        # Validate the kernel spec eagerly so bad parameters surface in
+        # the caller, not later inside a detached GPU process.
+        kernel.base_duration_ns(self.config.gpu, self.config.cc_on)
+        # Application-side loop bookkeeping between launches: lands in
+        # the LQT gap, not in KLO.
+        yield from self.guest.cpu_work(launch_cfg.inter_launch_cpu_ns)
+        # Launch-queue credit (backpressure when the queue is full).
+        credit = self.gpu.launch_credits.request()
+        yield credit
+        start = self.sim.now
+        lqt = (
+            max(0, start - self._last_launch_end)
+            if self._last_launch_end is not None
+            else 0
+        )
+        first = kernel.name not in self._seen_kernels
+        with self.guest.stacks.frame("cudaLaunchKernel"):
+            with self.guest.stacks.frame("libcuda.so::cuLaunchKernel"):
+                if first:
+                    self._seen_kernels.add(kernel.name)
+                    yield from self._first_launch_setup(kernel)
+                base = self.guest.jitter(
+                    launch_cfg.klo_base_ns, launch_cfg.jitter_sigma
+                )
+                with self.guest.stacks.frame("nvidia.ko::rm_ioctl"):
+                    yield from self.guest.cpu_work(base)
+                    if self.config.cc_on:
+                        yield from self._cc_launch_extra()
+        end = self.sim.now
+        self._last_launch_end = end
+        self.trace.add(
+            launch_event(kernel.name, start, end - start, lqt, stream.id, first)
+        )
+        done = self.sim.event()
+        command = KernelCommand(
+            kernel=kernel,
+            stream=stream.id,
+            enqueued_ns=end,
+            done=done,
+            predecessor=stream.tail,
+            managed_touches=[
+                (buf.uvm_handle, touched) for buf, touched in managed_touches
+            ],
+            credit=credit,
+        )
+        yield self.gpu.submit(command)
+        stream.tail = done
+        return done
+
+    def _first_launch_setup(self, kernel: KernelSpec) -> Generator:
+        """Module load / JIT, plus per-module CC DMA-buffer setup.
+
+        Under CC, loading a module means allocating its command/code
+        staging buffers in DMA-capable (shared) memory: dma_direct_alloc
+        followed by set_memory_decrypted per page — the dominant frames
+        of the paper's Fig. 8 flame graph.
+        """
+        launch_cfg = self.config.launch
+        extra = launch_cfg.first_launch_extra_ns
+        # Larger machine code (the Listing-1 unroll knob) loads slower.
+        unroll = kernel.attrs.get("unroll", 1.0)
+        extra = int(extra * (1.0 + 0.015 * max(unroll - 1.0, 0.0)))
+        with self.guest.stacks.frame("cuModuleLoad"):
+            yield from self.guest.cpu_work(extra)
+        if self.config.cc_on:
+            pages = int(
+                kernel.attrs.get(
+                    "module_pages", launch_cfg.first_launch_bounce_pages
+                )
+            )
+            with self.guest.stacks.frame("dma_direct_alloc"):
+                yield from self.guest.hypercall("tdvmcall.mapgpa")
+                duration = pages * self.config.tdx.page_convert_ns
+                self.guest.pages_converted += pages
+                with self.guest.stacks.frame("set_memory_decrypted"):
+                    self.guest.stacks.record(duration)
+                yield self.sim.timeout(duration)
+            yield from self.guest.hypercall("tdvmcall.mmio")
+
+    def _cc_launch_extra(self) -> Generator:
+        """Steady-state CC launch tax: packet crypto + rare hypercalls."""
+        launch_cfg = self.config.launch
+        with self.guest.stacks.frame("cc_encrypt_pushbuffer"):
+            yield from self.guest.cpu_work(launch_cfg.klo_cc_extra_ns)
+        self._hypercall_accum += launch_cfg.hypercalls_per_launch
+        while self._hypercall_accum >= 1.0:
+            self._hypercall_accum -= 1.0
+            yield from self.guest.hypercall("tdvmcall.mmio")
+
+    # ------------------------------------------------------------------
+    # Streams and synchronization
+    # ------------------------------------------------------------------
+
+    def create_stream(self) -> Stream:
+        stream = Stream()
+        self._streams.append(stream)
+        return stream
+
+    def cpu_gap(self, duration_ns: int) -> Generator:
+        """Application think time between API calls (loop bookkeeping)."""
+        yield from self.guest.cpu_work(duration_ns)
+
+    def stream_synchronize(self, stream: Stream) -> Generator:
+        start = self.sim.now
+        if stream.tail is not None and not stream.tail.processed:
+            yield stream.tail
+        yield from self._sync_overhead()
+        self.trace.add(
+            sync_event("cudaStreamSynchronize", start, self.sim.now - start)
+        )
+        return None
+
+    def synchronize(self) -> Generator:
+        """cudaDeviceSynchronize: wait for all streams."""
+        start = self.sim.now
+        pending = [
+            s.tail
+            for s in self._streams
+            if s.tail is not None and not s.tail.processed
+        ]
+        if pending:
+            yield self.sim.all_of(pending)
+        yield from self._sync_overhead()
+        self.trace.add(
+            sync_event("cudaDeviceSynchronize", start, self.sim.now - start)
+        )
+        return None
+
+    def _sync_overhead(self) -> Generator:
+        cfg = self.config.launch
+        overhead = cfg.sync_base_ns
+        if self.config.cc_on:
+            overhead += cfg.sync_cc_extra_ns
+        yield self.sim.timeout(overhead)
+
+    # ------------------------------------------------------------------
+    # CUDA graphs (Sec. VII-A launch fusion)
+    # ------------------------------------------------------------------
+
+    def graph_create(
+        self,
+        kernels: Sequence[KernelSpec],
+        managed_touches: Sequence[Sequence[Tuple[ManagedBuffer, int]]] = (),
+    ) -> Generator:
+        """Capture + instantiate a graph of sequential kernel nodes."""
+        cfg = self.config.launch
+        cost = cfg.graph_instantiate_base_ns + cfg.graph_capture_per_node_ns * len(
+            kernels
+        )
+        with self.guest.stacks.frame("cudaGraphInstantiate"):
+            yield from self.guest.cpu_work(cost)
+        nodes = []
+        for index, kernel in enumerate(kernels):
+            touches = (
+                tuple(
+                    (buf.uvm_handle, touched)
+                    for buf, touched in managed_touches[index]
+                )
+                if index < len(managed_touches)
+                else ()
+            )
+            nodes.append((kernel, touches))
+        return CudaGraph(nodes=nodes)
+
+    def graph_launch(self, graph: CudaGraph, stream: Optional[Stream] = None) -> Generator:
+        """One launch submits every node: the KLO is paid once."""
+        stream = stream or self.default_stream
+        cfg = self.config.launch
+        start = self.sim.now
+        lqt = (
+            max(0, start - self._last_launch_end)
+            if self._last_launch_end is not None
+            else 0
+        )
+        cost = cfg.graph_launch_base_ns + cfg.graph_launch_per_node_ns * graph.num_nodes
+        with self.guest.stacks.frame("cudaGraphLaunch"):
+            yield from self.guest.cpu_work(self.guest.jitter(cost, cfg.jitter_sigma))
+            if self.config.cc_on:
+                yield from self._cc_launch_extra()
+        end = self.sim.now
+        self._last_launch_end = end
+        self.trace.add(
+            launch_event(
+                f"graph[{graph.num_nodes}]", start, end - start, lqt, stream.id
+            )
+        )
+        last_done = None
+        for index, (kernel, touches) in enumerate(graph.nodes):
+            done = self.sim.event()
+            command = KernelCommand(
+                kernel=kernel,
+                stream=stream.id,
+                enqueued_ns=end,
+                done=done,
+                predecessor=stream.tail,
+                managed_touches=list(touches),
+                credit=None,  # graph nodes bypass the launch queue
+                fetch_free=index > 0,  # one fetch for the whole graph
+            )
+            yield self.gpu.submit(command)
+            stream.tail = done
+            last_done = done
+        return last_done

@@ -1,0 +1,19 @@
+"""CNN training workloads (paper Sec. VII-B, Fig. 13)."""
+
+from .distributed import DistributedResult, data_parallel_train
+from .models import CIFAR100_TRAIN_IMAGES, MODEL_NAMES, MODELS, CNNModel, get
+from .training import PRECISIONS, TrainingResult, train, training_app
+
+__all__ = [
+    "CIFAR100_TRAIN_IMAGES",
+    "CNNModel",
+    "DistributedResult",
+    "MODELS",
+    "MODEL_NAMES",
+    "PRECISIONS",
+    "TrainingResult",
+    "data_parallel_train",
+    "get",
+    "train",
+    "training_app",
+]

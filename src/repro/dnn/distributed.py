@@ -1,0 +1,120 @@
+"""Data-parallel CNN training across multiple GPUs under CC.
+
+Composes the single-GPU training-step simulation (:mod:`repro.dnn.
+training`) with the secure multi-GPU collectives (:mod:`repro.
+multigpu`): each step is the local step time plus a gradient
+all-reduce of the model's parameter bytes. On the paper's own H100
+*NVL* topology (NVLink pairs bridged by PCIe) the cross-pair hop runs
+through the CC bounce+crypto path — so confidential multi-GPU training
+pays the paper's transfer tax on every gradient sync, not just on data
+loading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import units
+from ..config import SystemConfig
+from ..multigpu import (
+    LinkSecurity,
+    MultiGPUNode,
+    best_all_reduce,
+    hierarchical_all_reduce,
+)
+from .models import CIFAR100_TRAIN_IMAGES, CNNModel
+from .training import train
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    model: str
+    num_gpus: int
+    topology: str  # "nvlink" | "nvl-pairs"
+    batch_per_gpu: int
+    precision: str
+    cc: bool
+    local_step_ns: int
+    allreduce_ns: int
+
+    @property
+    def step_time_ns(self) -> int:
+        return self.local_step_ns + self.allreduce_ns
+
+    @property
+    def global_batch(self) -> int:
+        return self.num_gpus * self.batch_per_gpu
+
+    @property
+    def throughput_img_per_sec(self) -> float:
+        return self.global_batch / units.to_sec(self.step_time_ns)
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Achieved speedup over one GPU divided by the GPU count."""
+        single = self.global_batch / self.num_gpus / units.to_sec(
+            self.local_step_ns
+        )
+        return self.throughput_img_per_sec / (single * self.num_gpus)
+
+    def epoch_time_sec(self) -> float:
+        steps = (
+            CIFAR100_TRAIN_IMAGES + self.global_batch - 1
+        ) // self.global_batch
+        return units.to_sec(self.step_time_ns) * steps
+
+
+def _gradient_bytes(model: CNNModel, precision: str) -> int:
+    # AMP/FP16 all-reduce half-precision gradients.
+    return model.param_bytes // (2 if precision in ("amp", "fp16") else 1)
+
+
+def data_parallel_train(
+    model: CNNModel,
+    num_gpus: int,
+    batch_per_gpu: int,
+    precision: str = "fp32",
+    config: Optional[SystemConfig] = None,
+    topology: str = "nvlink",
+    link_security: LinkSecurity = LinkSecurity.BATCHED,
+) -> DistributedResult:
+    """One data-parallel training configuration.
+
+    ``topology``:
+
+    * ``"nvlink"``  — all GPUs on one NVLink fabric (DGX/NVSwitch);
+      gradient sync uses the best single-level all-reduce under
+      ``link_security`` (plaintext links when CC is off).
+    * ``"nvl-pairs"`` — H100 NVL: NVLink islands of 2 bridged by PCIe;
+      the inter-island phase inherits the host's CC transfer path.
+    """
+    config = config or SystemConfig.base()
+    if num_gpus < 1:
+        raise ValueError("need at least one GPU")
+    local = train(model, batch_per_gpu, precision, config)
+    grad_bytes = _gradient_bytes(model, precision)
+    security = link_security if config.cc_on else LinkSecurity.NONE
+    if num_gpus == 1:
+        allreduce_ns = 0
+    elif topology == "nvlink":
+        node = MultiGPUNode(num_gpus=num_gpus)
+        allreduce_ns = best_all_reduce(node, grad_bytes, security).time_ns
+    elif topology == "nvl-pairs":
+        island = min(2, num_gpus)
+        islands = max(1, num_gpus // island)
+        allreduce_ns = hierarchical_all_reduce(
+            config, islands, island, grad_bytes, security
+        ).time_ns
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+    return DistributedResult(
+        model=model.name,
+        num_gpus=num_gpus,
+        topology=topology,
+        batch_per_gpu=batch_per_gpu,
+        precision=precision,
+        cc=config.cc_on,
+        local_step_ns=local.step_time_ns,
+        allreduce_ns=allreduce_ns,
+    )

@@ -1,0 +1,123 @@
+"""CNN model zoo for CIFAR-100 (paper Sec. VII-B, Fig. 13).
+
+The paper trains six models from the pytorch-cifar100 collection:
+VGG16, ResNet50, MobileNetV2, SqueezeNet, Attention92, Inception-v4.
+For the training-cost simulation each model is characterized by the
+quantities that determine its CC behaviour:
+
+* forward FLOPs per image (32x32 input),
+* parameter bytes (FP32),
+* kernel launches per forward pass (layer count x ops per layer) —
+  the lever CC pulls on at small batch sizes,
+* activation traffic per image,
+* AMP speedup factor: how much tensor-core FP16 accelerates its
+  compute (depthwise-separable models like MobileNetV2 benefit least).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CNNModel:
+    name: str
+    fwd_flops_per_image: float
+    param_bytes: int
+    fwd_launches: int
+    act_bytes_per_image: int
+    amp_speedup: float
+    # Relative growth in launched ops when AMP autocasting is on
+    # (cast/scale kernels around every mixed-precision boundary);
+    # depthwise-separable models have the most boundaries per FLOP.
+    amp_cast_overhead: float = 1.3
+
+    @property
+    def bwd_flops_per_image(self) -> float:
+        # Backward pass is ~2x forward (grad wrt weights + inputs).
+        return 2.0 * self.fwd_flops_per_image
+
+    @property
+    def bwd_launches(self) -> int:
+        return int(1.9 * self.fwd_launches)
+
+    @property
+    def step_launches(self) -> int:
+        """Forward + backward + fused-optimizer launches per step."""
+        return self.fwd_launches + self.bwd_launches + 8
+
+
+_M = 1_000_000
+
+MODELS: Dict[str, CNNModel] = {
+    model.name: model
+    for model in [
+        CNNModel(
+            "vgg16",
+            fwd_flops_per_image=333e6,
+            param_bytes=34 * _M * 4,
+            fwd_launches=48,
+            act_bytes_per_image=9 * _M,
+            amp_speedup=1.35,
+            amp_cast_overhead=1.3,
+        ),
+        CNNModel(
+            "resnet50",
+            fwd_flops_per_image=1300e6,
+            param_bytes=25 * _M * 4,
+            fwd_launches=176,
+            act_bytes_per_image=18 * _M,
+            amp_speedup=1.25,
+            amp_cast_overhead=1.3,
+        ),
+        CNNModel(
+            "mobilenetv2",
+            fwd_flops_per_image=310e6,
+            param_bytes=3 * _M * 4 + 2 * _M,
+            fwd_launches=186,
+            act_bytes_per_image=12 * _M,
+            amp_speedup=1.0,
+            amp_cast_overhead=1.75,
+        ),
+        CNNModel(
+            "squeezenet",
+            fwd_flops_per_image=280e6,
+            param_bytes=int(1.2 * _M) * 4,
+            fwd_launches=94,
+            act_bytes_per_image=7 * _M,
+            amp_speedup=1.1,
+            amp_cast_overhead=1.55,
+        ),
+        CNNModel(
+            "attention92",
+            fwd_flops_per_image=1900e6,
+            param_bytes=51 * _M * 4,
+            fwd_launches=390,
+            act_bytes_per_image=30 * _M,
+            amp_speedup=1.45,
+            amp_cast_overhead=1.3,
+        ),
+        CNNModel(
+            "inceptionv4",
+            fwd_flops_per_image=1600e6,
+            param_bytes=41 * _M * 4,
+            fwd_launches=460,
+            act_bytes_per_image=26 * _M,
+            amp_speedup=1.4,
+            amp_cast_overhead=1.45,
+        ),
+    ]
+}
+
+MODEL_NAMES: List[str] = list(MODELS)
+
+CIFAR100_TRAIN_IMAGES = 50_000
+CIFAR100_IMAGE_BYTES = 3 * 32 * 32 * 4  # FP32 CHW
+
+
+def get(name: str) -> CNNModel:
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown CNN model {name!r}; known: {MODEL_NAMES}") from None

@@ -1,0 +1,46 @@
+"""Figure reproduction: one generator per paper table/figure.
+
+Each module exposes ``generate(...) -> FigureResult``; benches render
+the text tables and tee JSON into ``results/``.
+"""
+
+from .common import FigureResult, default_results_dir
+from . import (
+    extensions,
+    fig01_overview,
+    fig03_model,
+    fig04_bandwidth,
+    fig05_copytime,
+    fig06_alloc,
+    fig07_launch,
+    fig08_flamegraph,
+    fig09_ket,
+    fig10_events,
+    fig11_cdf,
+    fig12_micro,
+    fig13_cnn,
+    fig14_llm,
+    observations,
+    table1_config,
+)
+
+__all__ = [
+    "FigureResult",
+    "default_results_dir",
+    "extensions",
+    "fig01_overview",
+    "fig03_model",
+    "fig04_bandwidth",
+    "fig05_copytime",
+    "fig06_alloc",
+    "fig07_launch",
+    "fig08_flamegraph",
+    "fig09_ket",
+    "fig10_events",
+    "fig11_cdf",
+    "fig12_micro",
+    "fig13_cnn",
+    "fig14_llm",
+    "observations",
+    "table1_config",
+]

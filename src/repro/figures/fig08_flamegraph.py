@@ -1,0 +1,65 @@
+"""Fig. 8: simplified call stack of a cudaLaunchKernel inside a TD.
+
+Runs a single kernel launch on a confidential machine, captures the
+recorded driver/TDX call stacks, and folds them into a flame graph —
+the dma_direct_alloc / set_memory_decrypted / tdx_hypercall frames the
+paper highlights.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from ..config import SystemConfig
+from ..cuda import Machine
+from ..gpu import nanosleep_kernel
+from ..profiler import build_tree, frame_share, render_ascii
+from .common import FigureResult
+
+
+def _single_launch(rt):
+    # A representative kernel with a realistic module size (~64 DMA
+    # pages of code/constant staging) so the first-launch conversion
+    # work is visible, as in the paper's perf capture.
+    kernel = nanosleep_kernel(units.us(50), name="probe")
+    kernel.attrs["module_pages"] = 64.0
+    yield from rt.launch(kernel)
+    yield from rt.synchronize()
+
+
+def generate() -> FigureResult:
+    machine = Machine(SystemConfig.confidential(), label="fig08")
+    machine.run(_single_launch)
+    samples = machine.guest.stacks.samples
+    # Restrict to the launch path (drop sync/idle frames).
+    launch_samples = {
+        stack: value
+        for stack, value in samples.items()
+        if stack and stack[0] == "cudaLaunchKernel"
+    }
+    tree = build_tree(launch_samples, root_name="cudaLaunchKernel(in TD)")
+    rows = []
+    for line in machine.guest.stacks.folded():
+        if line.startswith("cudaLaunchKernel"):
+            stack, _, value = line.rpartition(" ")
+            rows.append((stack, int(value)))
+    figure = FigureResult(
+        figure_id="fig08_flamegraph",
+        title="Folded call stacks of one cudaLaunchKernel inside a TD",
+        columns=("stack", "self_ns"),
+        rows=rows,
+        notes=[
+            "ASCII flame graph:",
+            *render_ascii(tree).splitlines(),
+        ],
+    )
+    figure.add_comparison(
+        "share of launch in set_memory_decrypted (qualitative: large)",
+        0.5,
+        frame_share(tree, "set_memory_decrypted"),
+    )
+    figure.add_comparison(
+        "share of launch in TDX module (__seamcall)",
+        0.1,
+        frame_share(tree, "tdx_module.__seamcall"),
+    )
+    return figure

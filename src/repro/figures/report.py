@@ -1,0 +1,107 @@
+"""Reproduction report: aggregate paper-vs-measured comparisons from
+the JSON results the benches tee into ``results/``.
+
+``python -m repro report`` renders the full sheet plus an accuracy
+histogram, so after ``pytest benchmarks/ --benchmark-only`` one command
+shows how close the whole reproduction sits to the paper.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    figure_id: str
+    metric: str
+    paper: float
+    measured: float
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.paper == 0:
+            return None
+        return abs(self.measured - self.paper) / abs(self.paper)
+
+
+def load_results(results_dir: str) -> List[Dict]:
+    """All figure payloads saved under a results directory."""
+    payloads = []
+    for path in sorted(glob.glob(os.path.join(results_dir, "*.json"))):
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and "figure_id" in payload:
+            payloads.append(payload)
+    return payloads
+
+
+def comparison_rows(results_dir: str) -> List[ComparisonRow]:
+    rows = []
+    for payload in load_results(results_dir):
+        for item in payload.get("comparisons", []):
+            rows.append(
+                ComparisonRow(
+                    payload["figure_id"],
+                    item["metric"],
+                    float(item["paper"]),
+                    float(item["measured"]),
+                )
+            )
+    return rows
+
+
+def accuracy_histogram(rows: List[ComparisonRow]) -> Dict[str, int]:
+    """Bucket comparisons by relative error."""
+    buckets = {"<=5%": 0, "<=10%": 0, "<=25%": 0, "<=50%": 0, ">50%": 0, "n/a": 0}
+    for row in rows:
+        error = row.relative_error
+        if error is None:
+            buckets["n/a"] += 1
+        elif error <= 0.05:
+            buckets["<=5%"] += 1
+        elif error <= 0.10:
+            buckets["<=10%"] += 1
+        elif error <= 0.25:
+            buckets["<=25%"] += 1
+        elif error <= 0.50:
+            buckets["<=50%"] += 1
+        else:
+            buckets[">50%"] += 1
+    return buckets
+
+
+def render(results_dir: str) -> str:
+    """The full report as text (markdown-ish table)."""
+    rows = comparison_rows(results_dir)
+    if not rows:
+        return (
+            f"no results under {results_dir!r} — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    lines = [
+        f"Reproduction report — {len(rows)} paper-vs-measured comparisons",
+        "",
+        f"{'figure':<24}{'metric':<60}{'paper':>12}{'measured':>12}{'err%':>8}",
+        "-" * 116,
+    ]
+    for row in rows:
+        error = row.relative_error
+        err_text = f"{100 * error:7.1f}" if error is not None else "    n/a"
+        lines.append(
+            f"{row.figure_id:<24}{row.metric[:58]:<60}"
+            f"{row.paper:>12.4g}{row.measured:>12.4g}{err_text:>8}"
+        )
+    lines.append("")
+    lines.append("accuracy histogram (relative error vs paper):")
+    for bucket, count in accuracy_histogram(rows).items():
+        bar = "#" * count
+        lines.append(f"  {bucket:>6}: {count:3d} {bar}")
+    return "\n".join(lines)

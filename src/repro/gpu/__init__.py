@@ -1,0 +1,25 @@
+"""GPU device substrate: command processor, engines, HBM, GMMU/UVM,
+and kernel cost models (paper Sec. II, Fig. 2)."""
+
+from .device import GPU, CopyCommand, KernelCommand
+from .kernels import (
+    CC_KET_FACTOR,
+    KernelSpec,
+    elementwise_kernel,
+    gemm_kernel,
+    nanosleep_kernel,
+)
+from .uvm import ManagedAllocation, UVMManager
+
+__all__ = [
+    "CC_KET_FACTOR",
+    "CopyCommand",
+    "GPU",
+    "KernelCommand",
+    "KernelSpec",
+    "ManagedAllocation",
+    "UVMManager",
+    "elementwise_kernel",
+    "gemm_kernel",
+    "nanosleep_kernel",
+]

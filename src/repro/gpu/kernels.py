@@ -1,0 +1,145 @@
+"""Kernel descriptors and the roofline execution-time model.
+
+Kernel execution time (KET) for non-UVM kernels follows a roofline:
+``max(flops / peak_flops, bytes / hbm_bw) / efficiency`` plus a fixed
+scheduling overhead.  The paper's Observation 5 — non-UVM KET is
+essentially unaffected by CC (+0.48 % on average) — is modeled as a
+small multiplicative factor; UVM kernels instead incur fault-driven
+migration time computed by :mod:`repro.gpu.uvm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from .. import units
+from ..config import GPUSpec
+
+# Observation 5: average non-UVM KET increase under CC.
+CC_KET_FACTOR = 1.0048
+
+Precision = str  # "fp32" | "fp16" | "bf16" | "int8"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A GPU kernel's cost profile.
+
+    Either give a ``fixed_duration_ns`` (microbenchmarks: the paper's
+    PTX-nanosleep kernel, Listing 1) or FLOPs + HBM traffic for the
+    roofline model.  ``managed_bytes`` is the managed-memory footprint
+    the kernel touches (drives UVM far faults when the buffers are not
+    resident).
+    """
+
+    name: str
+    flops: float = 0.0
+    mem_bytes: int = 0
+    precision: Precision = "fp32"
+    efficiency: Optional[float] = None
+    fixed_duration_ns: Optional[int] = None
+    # Managed (UVM) footprint touched by this kernel, per buffer role.
+    managed_bytes: int = 0
+    # Grid metadata (informational; occupancy folded into efficiency).
+    grid: Tuple[int, int, int] = (1, 1, 1)
+    block: Tuple[int, int, int] = (256, 1, 1)
+    attrs: Dict[str, float] = field(default_factory=dict)
+
+    def with_name(self, name: str) -> "KernelSpec":
+        return replace(self, name=name)
+
+    def peak_flops(self, gpu: GPUSpec) -> float:
+        table = {
+            "fp32": gpu.fp32_flops,
+            "fp16": gpu.fp16_tensor_flops,
+            "bf16": gpu.bf16_tensor_flops,
+            "int8": gpu.int8_tensor_flops,
+        }
+        try:
+            return table[self.precision]
+        except KeyError:
+            raise ValueError(f"unknown precision {self.precision!r}") from None
+
+    def base_duration_ns(self, gpu: GPUSpec, cc: bool) -> int:
+        """KET excluding UVM migration, including the tiny CC factor."""
+        if self.fixed_duration_ns is not None:
+            duration = self.fixed_duration_ns
+        else:
+            eff = self.efficiency if self.efficiency is not None else gpu.default_efficiency
+            if eff <= 0 or eff > 1:
+                raise ValueError(f"efficiency must be in (0, 1], got {eff}")
+            compute_ns = (
+                self.flops / (self.peak_flops(gpu) * eff) * units.NS_PER_SEC
+                if self.flops
+                else 0.0
+            )
+            memory_ns = (
+                self.mem_bytes / (gpu.hbm_bw * eff) * units.NS_PER_SEC
+                if self.mem_bytes
+                else 0.0
+            )
+            duration = int(max(compute_ns, memory_ns)) + gpu.kernel_fixed_ns
+        if cc:
+            duration = int(duration * CC_KET_FACTOR)
+        return max(duration, 1)
+
+
+def nanosleep_kernel(duration_ns: int, name: str = "nanosleep", unroll: int = 1) -> KernelSpec:
+    """The paper's Listing-1 microbenchmark kernel.
+
+    Runs for a fixed duration using PTX ``nanosleep``; ``unroll``
+    mirrors the loop-unrolling parameter N_x used to control code size
+    (it only affects the first-launch module-load cost, captured in
+    attrs for the launch path).
+    """
+    return KernelSpec(
+        name=name,
+        fixed_duration_ns=duration_ns,
+        attrs={"unroll": float(unroll)},
+    )
+
+
+def gemm_kernel(
+    m: int,
+    n: int,
+    k: int,
+    precision: Precision = "fp32",
+    name: Optional[str] = None,
+    efficiency: Optional[float] = None,
+) -> KernelSpec:
+    """Dense matmul cost: 2*m*n*k FLOPs, (mk + kn + mn) element traffic."""
+    elem = {"fp32": 4, "fp16": 2, "bf16": 2, "int8": 1}[precision]
+    return KernelSpec(
+        name=name or f"gemm_{m}x{n}x{k}_{precision}",
+        flops=2.0 * m * n * k,
+        mem_bytes=(m * k + k * n + m * n) * elem,
+        precision=precision,
+        efficiency=efficiency,
+    )
+
+
+def elementwise_kernel(
+    num_elements: int,
+    flops_per_element: float = 1.0,
+    bytes_per_element: int = 8,
+    precision: Precision = "fp32",
+    name: str = "elementwise",
+    module_pages: Optional[int] = None,
+) -> KernelSpec:
+    """Memory-bound streaming kernel (axpy, activation, reduction...).
+
+    ``module_pages`` marks unusually large kernel modules (heavily
+    templated fat binaries), which pay proportionally more CC
+    first-launch DMA-buffer setup.
+    """
+    attrs = {}
+    if module_pages is not None:
+        attrs["module_pages"] = float(module_pages)
+    return KernelSpec(
+        name=name,
+        flops=num_elements * flops_per_element,
+        mem_bytes=num_elements * bytes_per_element,
+        precision=precision,
+        attrs=attrs,
+    )

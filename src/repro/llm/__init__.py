@@ -1,0 +1,29 @@
+"""LLM inference workloads: Llama-3-8B serving on HF-style and
+vLLM-style backends with BF16/AWQ quantization (paper Sec. VII-B)."""
+
+from .backends import (
+    HFBackend,
+    Request,
+    ServeResult,
+    VLLMBackend,
+    make_requests,
+)
+from .config import AWQ, BF16, LLAMA3_8B, LlamaConfig, QUANTS, QuantConfig
+from .kvcache import KVCacheError, OutOfBlocksError, PagedKVCache
+
+__all__ = [
+    "AWQ",
+    "BF16",
+    "HFBackend",
+    "KVCacheError",
+    "LLAMA3_8B",
+    "LlamaConfig",
+    "OutOfBlocksError",
+    "PagedKVCache",
+    "QUANTS",
+    "QuantConfig",
+    "Request",
+    "ServeResult",
+    "VLLMBackend",
+    "make_requests",
+]

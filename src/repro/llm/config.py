@@ -1,0 +1,72 @@
+"""LLM model configuration (paper Sec. VII-B: Meta-Llama-3-8B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Transformer shape; defaults are Meta-Llama-3-8B."""
+
+    name: str = "Meta-Llama-3-8B"
+    num_layers: int = 32
+    hidden_size: int = 4096
+    num_heads: int = 32
+    num_kv_heads: int = 8
+    head_dim: int = 128
+    intermediate_size: int = 14336
+    vocab_size: int = 128256
+
+    @property
+    def params(self) -> float:
+        """Approximate parameter count."""
+        attn = self.num_layers * (
+            self.hidden_size * self.num_heads * self.head_dim  # Q
+            + 2 * self.hidden_size * self.num_kv_heads * self.head_dim  # K,V
+            + self.num_heads * self.head_dim * self.hidden_size  # O
+        )
+        mlp = self.num_layers * 3 * self.hidden_size * self.intermediate_size
+        embed = 2 * self.vocab_size * self.hidden_size
+        return attn + mlp + embed
+
+    def param_bytes(self, bits: int) -> int:
+        return int(self.params * bits / 8)
+
+    def kv_bytes_per_token(self, bits: int = 16) -> int:
+        """KV-cache bytes appended per token across all layers."""
+        per_layer = 2 * self.num_kv_heads * self.head_dim
+        return int(self.num_layers * per_layer * bits / 8)
+
+    def flops_per_token(self) -> float:
+        """Dense FLOPs to process one token (~2 x params)."""
+        return 2.0 * self.params
+
+
+LLAMA3_8B = LlamaConfig()
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Weight quantization scheme."""
+
+    name: str
+    weight_bits: int
+    # Extra compute factor for on-the-fly dequantization.
+    dequant_overhead: float
+
+    @property
+    def is_quantized(self) -> bool:
+        return self.weight_bits < 16
+
+
+BF16 = QuantConfig("bf16", 16, 1.0)
+# Activation-aware Weight Quantization: 4-bit weights, dequantized to
+# FP16 inside the GEMM kernels (Sec. VII-B).  Cuts the memory-bound
+# decode floor ~4x, but the dequantizing GEMMs cannot stream through
+# the tensor cores, so per-token compute costs ~4.6x BF16 — which is
+# why BF16 overtakes AWQ once decode turns compute-bound at batch
+# 64-128 (the paper's crossover, Fig. 14).
+AWQ = QuantConfig("awq", 4, 4.6)
+
+QUANTS = {q.name: q for q in (BF16, AWQ)}

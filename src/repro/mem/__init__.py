@@ -1,0 +1,14 @@
+"""Memory substrates: extent allocator, host memory with TD page
+states, and the swiotlb bounce-buffer pool."""
+
+from .allocator import AllocatorError, ExtentAllocator, OutOfMemoryError
+from .hostmem import BounceBufferPool, HostMemory, PageState
+
+__all__ = [
+    "AllocatorError",
+    "BounceBufferPool",
+    "ExtentAllocator",
+    "HostMemory",
+    "OutOfMemoryError",
+    "PageState",
+]

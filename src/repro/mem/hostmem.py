@@ -1,0 +1,167 @@
+"""Host physical memory model with TD page states.
+
+Under TDX, every guest-physical page is either *private* (encrypted by
+TME-MK with the TD's key, inaccessible to devices) or *shared*
+(hypervisor-visible, required for DMA).  ``set_memory_decrypted()``
+converts private pages to shared — the conversion the paper's Fig. 8
+flame graph shows inside the kernel launch path.
+
+The model tracks page states and actually stores page contents, so the
+end-to-end CC data path (private page -> AES-GCM -> bounce buffer ->
+GPU) is functionally verifiable.  XTS encryption of private contents is
+available for tests that want to see TME-MK behaviour explicitly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Optional
+
+from .. import units
+from .allocator import AllocatorError, ExtentAllocator
+
+
+class PageState(Enum):
+    PRIVATE = "private"  # TD-private, TME-MK encrypted, no device DMA
+    SHARED = "shared"  # hypervisor-visible, DMA-capable
+
+
+class HostMemory:
+    """Guest-physical memory of a VM or TD.
+
+    Pages are created lazily.  In a regular VM (``td=False``), all
+    pages are shared (no TME-MK on non-TD memory with auto-bypass,
+    Table I).  In a TD, pages start private.
+    """
+
+    def __init__(self, capacity: int, td: bool, page_size: int = 4 * units.KiB) -> None:
+        self.capacity = capacity
+        self.td = td
+        self.page_size = page_size
+        self.heap = ExtentAllocator(capacity, base=0x1000_0000, alignment=page_size)
+        self._page_states: Dict[int, PageState] = {}
+        self._contents: Dict[int, bytes] = {}  # page_index -> payload
+        self.conversions_to_shared = 0
+        self.conversions_to_private = 0
+
+    # -- page state ------------------------------------------------------
+
+    def _page_index(self, address: int) -> int:
+        return address // self.page_size
+
+    def default_state(self) -> PageState:
+        return PageState.PRIVATE if self.td else PageState.SHARED
+
+    def page_state(self, address: int) -> PageState:
+        return self._page_states.get(self._page_index(address), self.default_state())
+
+    def set_memory_decrypted(self, address: int, size: int) -> int:
+        """Convert [address, address+size) to shared; returns page count.
+
+        Mirrors the Linux ``set_memory_decrypted()`` the paper points at
+        (arch/x86/mm/pat/set_memory.c); in a regular VM it is a no-op.
+        """
+        if not self.td:
+            return 0
+        count = 0
+        for page in self._page_range(address, size):
+            if self._page_states.get(page, self.default_state()) is not PageState.SHARED:
+                self._page_states[page] = PageState.SHARED
+                count += 1
+        self.conversions_to_shared += count
+        return count
+
+    def set_memory_encrypted(self, address: int, size: int) -> int:
+        """Convert [address, address+size) back to private."""
+        if not self.td:
+            return 0
+        count = 0
+        for page in self._page_range(address, size):
+            if self._page_states.get(page, self.default_state()) is not PageState.PRIVATE:
+                self._page_states[page] = PageState.PRIVATE
+                count += 1
+        self.conversions_to_private += count
+        return count
+
+    def is_dma_capable(self, address: int, size: int) -> bool:
+        """True if a device may DMA directly to/from this range."""
+        return all(
+            self._page_states.get(page, self.default_state()) is PageState.SHARED
+            for page in self._page_range(address, size)
+        )
+
+    def _page_range(self, address: int, size: int):
+        first = self._page_index(address)
+        last = self._page_index(address + max(size, 1) - 1)
+        return range(first, last + 1)
+
+    # -- contents ----------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> None:
+        """Store payload bytes at an address (page-granular backing)."""
+        self._contents[address] = bytes(data)
+
+    def read(self, address: int, size: Optional[int] = None) -> bytes:
+        data = self._contents.get(address, b"")
+        return data if size is None else data[:size]
+
+    # -- allocation convenience ---------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        return self.heap.alloc(size)
+
+    def free(self, address: int) -> int:
+        for page in self._page_range(address, self.heap.size_of(address)):
+            self._page_states.pop(page, None)
+        self._contents.pop(address, None)
+        return self.heap.free(address)
+
+
+class BounceBufferPool:
+    """swiotlb-style bounce-buffer pool in shared memory (Sec. II-A).
+
+    Under TDX the GPU cannot DMA into TD-private memory, so transfers
+    stage through this hypervisor-managed pool (``dma_alloc_*``).  The
+    pool has fixed capacity; exhaustion forces callers to wait, which
+    is one source of CC transfer-pipeline stalls.
+    """
+
+    def __init__(self, capacity: int, page_size: int = 4 * units.KiB) -> None:
+        self.capacity = capacity
+        self.page_size = page_size
+        self._allocator = ExtentAllocator(
+            capacity, base=0xB000_0000, alignment=page_size
+        )
+        self._staged: Dict[int, bytes] = {}
+        self.peak_usage = 0
+        self.total_allocs = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._allocator.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self._allocator.free_bytes
+
+    def alloc(self, size: int) -> int:
+        slot = self._allocator.alloc(size)
+        self.total_allocs += 1
+        self.peak_usage = max(self.peak_usage, self.used_bytes)
+        return slot
+
+    def free(self, slot: int) -> None:
+        self._staged.pop(slot, None)
+        self._allocator.free(slot)
+
+    def stage(self, slot: int, data: bytes) -> None:
+        """Place (already encrypted) bytes into a bounce slot."""
+        if slot not in self._allocator._live:
+            raise AllocatorError(f"staging into unallocated slot {slot:#x}")
+        if len(data) > self._allocator.size_of(slot):
+            raise AllocatorError("staged data exceeds slot size")
+        self._staged[slot] = bytes(data)
+
+    def peek(self, slot: int) -> bytes:
+        """Read slot contents (what the untrusted hypervisor could see)."""
+        return self._staged.get(slot, b"")

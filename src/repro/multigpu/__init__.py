@@ -1,0 +1,41 @@
+"""Secure multi-GPU substrate: NVLink-class peer links, counter-mode
+secure channels with naive vs batched metadata management, and timed
+collectives (the scaling direction of paper Sec. VIII)."""
+
+from .collectives import (
+    CollectiveResult,
+    all_reduce_sweep,
+    best_all_reduce,
+    broadcast,
+    hierarchical_all_reduce,
+    ring_all_reduce,
+    tree_all_reduce,
+)
+from .links import (
+    AuthFailure,
+    LinkSecurity,
+    LinkSpec,
+    MultiGPUNode,
+    ReplayError,
+    SecureChannel,
+    effective_bandwidth_gbps,
+    transfer_time_ns,
+)
+
+__all__ = [
+    "AuthFailure",
+    "CollectiveResult",
+    "LinkSecurity",
+    "LinkSpec",
+    "MultiGPUNode",
+    "ReplayError",
+    "SecureChannel",
+    "all_reduce_sweep",
+    "best_all_reduce",
+    "broadcast",
+    "effective_bandwidth_gbps",
+    "hierarchical_all_reduce",
+    "ring_all_reduce",
+    "transfer_time_ns",
+    "tree_all_reduce",
+]

@@ -1,0 +1,24 @@
+"""Optimizations the paper evaluates against CC overheads
+(Sec. VII-A): kernel/launch fusion and copy/compute overlap.
+Quantization (the third mitigation) lives with its workloads in
+:mod:`repro.dnn` (AMP/FP16) and :mod:`repro.llm` (AWQ)."""
+
+from .fusion import (
+    FusionPlan,
+    best_fusion_level,
+    graph_fusion_time,
+    sweep_fusion_levels,
+    sweep_graph_batches,
+)
+from .overlap import OverlapPlan, compute_to_io_ratio, sweep_streams
+
+__all__ = [
+    "FusionPlan",
+    "OverlapPlan",
+    "best_fusion_level",
+    "compute_to_io_ratio",
+    "graph_fusion_time",
+    "sweep_fusion_levels",
+    "sweep_graph_batches",
+    "sweep_streams",
+]

@@ -1,0 +1,106 @@
+"""Kernel/launch fusion planning (paper Sec. VII-A, Observation 7).
+
+Given a workload of N short kernels with a fixed total KET, fusion
+reduces launch count (and therefore total KLO + LQT) at the cost of a
+higher per-launch KLO for the first launches of the fused kernels.
+:func:`sweep_fusion_levels` measures end-to-end time across fusion
+levels on the simulator, and :func:`best_fusion_level` returns the
+empirically optimal level — the paper's point that a *fully* fused
+kernel is suboptimal and fusion under CC has different objectives.
+
+:func:`graph_fusion_time` evaluates the alternative the paper suggests
+for iterative single-kernel apps (3dconv-style): launch fusion via
+CUDA graphs instead of source-level kernel fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .. import units
+from ..config import SystemConfig
+from ..cuda import run_app
+from ..gpu import nanosleep_kernel
+from ..workloads.microbench import fusion_sweep_app
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    total_ket_ns: int
+    levels: Dict[int, int]  # num_launches -> end-to-end ns
+    best_level: int
+
+    @property
+    def best_time_ns(self) -> int:
+        return self.levels[self.best_level]
+
+    @property
+    def fully_fused_time_ns(self) -> int:
+        return self.levels[min(self.levels)]
+
+
+def sweep_fusion_levels(
+    config: SystemConfig,
+    total_ket_ns: int = units.ms(100),
+    launch_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+) -> FusionPlan:
+    """Measure end-to-end time for each fusion level."""
+    levels: Dict[int, int] = {}
+    for count in launch_counts:
+        trace, _ = run_app(
+            fusion_sweep_app, config, num_launches=count, total_ket_ns=total_ket_ns
+        )
+        levels[count] = trace.span_ns()
+    best = min(levels, key=levels.get)
+    return FusionPlan(total_ket_ns=total_ket_ns, levels=levels, best_level=best)
+
+
+def best_fusion_level(
+    config: SystemConfig,
+    total_ket_ns: int = units.ms(100),
+    launch_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+) -> int:
+    return sweep_fusion_levels(config, total_ket_ns, launch_counts).best_level
+
+
+def _graph_app(rt, num_launches: int, per_kernel_ns: int, graph_batch: int):
+    kernel = nanosleep_kernel(per_kernel_ns, name="graph_node")
+    graph = yield from rt.graph_create([kernel] * graph_batch)
+    full, remainder = divmod(num_launches, graph_batch)
+    for _ in range(full):
+        yield from rt.graph_launch(graph)
+    for _ in range(remainder):
+        yield from rt.launch(kernel)
+    yield from rt.synchronize()
+
+
+def graph_fusion_time(
+    config: SystemConfig,
+    num_launches: int = 254,
+    per_kernel_ns: int = units.us(30),
+    graph_batch: int = 16,
+) -> int:
+    """End-to-end time for an iterative app with cudaGraph launch
+    fusion at the given batching level (3dconv-style, Sec. VII-A)."""
+    trace, _ = run_app(
+        _graph_app,
+        config,
+        num_launches=num_launches,
+        per_kernel_ns=per_kernel_ns,
+        graph_batch=graph_batch,
+    )
+    return trace.span_ns()
+
+
+def sweep_graph_batches(
+    config: SystemConfig,
+    num_launches: int = 254,
+    per_kernel_ns: int = units.us(30),
+    batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+) -> Dict[int, int]:
+    """Graph-batch size -> end-to-end ns (the Ekelund-style optimum)."""
+    return {
+        batch: graph_fusion_time(config, num_launches, per_kernel_ns, batch)
+        for batch in batches
+    }

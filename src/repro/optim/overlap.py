@@ -1,0 +1,70 @@
+"""Stream-overlap planning (paper Sec. VII-A, Observation 8).
+
+Helpers for choosing a stream count and for quantifying how much of
+the copy time a configuration hides (the model's alpha parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from .. import units
+from ..config import SystemConfig
+from ..core import decompose
+from ..cuda import run_app
+from ..workloads.microbench import overlap_app
+
+
+@dataclass(frozen=True)
+class OverlapPlan:
+    alphas: Dict[int, float]  # streams -> achieved alpha
+    times: Dict[int, int]  # streams -> end-to-end ns (note: total work
+    # grows with stream count in the Listing-2 pattern, so times are
+    # not comparable across counts — alpha is the figure of merit)
+    best_streams: int
+
+    @property
+    def best_alpha(self) -> float:
+        return self.alphas[self.best_streams]
+
+
+def sweep_streams(
+    config: SystemConfig,
+    total_bytes: int = 512 * units.MB,
+    ket_ns: int = units.ms(10),
+    stream_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+) -> OverlapPlan:
+    """Measure achieved alpha (hidden copy fraction) per stream count."""
+    alphas: Dict[int, float] = {}
+    times: Dict[int, int] = {}
+    for streams in stream_counts:
+        trace, _ = run_app(
+            overlap_app,
+            config,
+            num_streams=streams,
+            total_bytes=total_bytes,
+            ket_ns=ket_ns,
+        )
+        model = decompose(trace)
+        alphas[streams] = model.alpha
+        times[streams] = trace.span_ns()
+    best = max(alphas, key=alphas.get)
+    return OverlapPlan(alphas=alphas, times=times, best_streams=best)
+
+
+def compute_to_io_ratio(
+    config: SystemConfig, total_bytes: int, total_ket_ns: int
+) -> float:
+    """KET time over (un-overlapped) copy time — the knob Observation 8
+    says to raise for better overlap under CC."""
+    from ..config import CopyKind, MemoryKind
+    from ..cuda.transfers import plan_copy
+    from ..sim import Simulator
+    from ..tdx import GuestContext
+
+    guest = GuestContext(Simulator(), config)
+    plan = plan_copy(
+        config, guest, CopyKind.H2D, total_bytes, MemoryKind.PINNED, cold=False
+    )
+    return total_ket_ns / max(plan.total_ns, 1)

@@ -1,0 +1,41 @@
+"""Nsight-Systems-like profiling layer: trace events, collection,
+statistics (CDFs), and flame-graph folding."""
+
+from .analysis import SummaryStats, cdf, cdf_at, ratio_of_means, ratio_of_totals
+from .collector import Trace
+from .events import (
+    EventKind,
+    TraceEvent,
+    alloc_event,
+    free_event,
+    kernel_event,
+    launch_event,
+    memcpy_event,
+    sync_event,
+)
+from .flamegraph import FlameNode, build_tree, frame_share, render_ascii
+from .importers import from_chrome_trace, from_rows, load_chrome_trace
+
+__all__ = [
+    "EventKind",
+    "FlameNode",
+    "SummaryStats",
+    "Trace",
+    "TraceEvent",
+    "alloc_event",
+    "build_tree",
+    "cdf",
+    "cdf_at",
+    "frame_share",
+    "free_event",
+    "from_chrome_trace",
+    "from_rows",
+    "load_chrome_trace",
+    "kernel_event",
+    "launch_event",
+    "memcpy_event",
+    "ratio_of_means",
+    "ratio_of_totals",
+    "render_ascii",
+    "sync_event",
+]

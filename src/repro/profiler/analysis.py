@@ -1,0 +1,86 @@
+"""Trace statistics: CDFs and summary stats (paper Fig. 11).
+
+The paper plots CDFs of per-launch KLO and per-kernel KET and notes
+that, for launch CDFs, the top-5 longest launches are removed for
+display while averages use all points — :func:`cdf` supports the same
+trimming rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+    total: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "SummaryStats":
+        if not values:
+            return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(values, dtype=float)
+        return SummaryStats(
+            count=len(arr),
+            mean=float(arr.mean()),
+            median=float(np.median(arr)),
+            p95=float(np.percentile(arr, 95)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            total=float(arr.sum()),
+        )
+
+
+def cdf(
+    values: Sequence[float], trim_top: int = 0
+) -> Tuple[List[float], List[float]]:
+    """Empirical CDF as (sorted values, cumulative probabilities).
+
+    ``trim_top`` removes the N largest points *from the displayed
+    curve only* — matching the paper's Fig. 11 methodology ("the top 5
+    longest launch durations are removed; the average value is
+    calculated over all data points").
+    """
+    if trim_top < 0:
+        raise ValueError("trim_top must be >= 0")
+    if not values:
+        return [], []
+    ordered = sorted(values)
+    if trim_top:
+        ordered = ordered[: max(0, len(ordered) - trim_top)]
+    n = len(ordered)
+    probs = [(i + 1) / n for i in range(n)]
+    return ordered, probs
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def ratio_of_means(numerator: Sequence[float], denominator: Sequence[float]) -> float:
+    """Mean(numerator)/mean(denominator); the paper's normalization."""
+    num = SummaryStats.of(numerator).mean
+    den = SummaryStats.of(denominator).mean
+    if den == 0:
+        return float("inf") if num > 0 else 1.0
+    return num / den
+
+
+def ratio_of_totals(numerator: Sequence[float], denominator: Sequence[float]) -> float:
+    num = sum(numerator)
+    den = sum(denominator)
+    if den == 0:
+        return float("inf") if num > 0 else 1.0
+    return num / den

@@ -1,0 +1,97 @@
+"""Trace collection and querying."""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterable, List, Optional
+
+from .events import EventKind, TraceEvent
+
+
+class Trace:
+    """An ordered collection of trace events for one application run."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.events: List[TraceEvent] = []
+
+    def add(self, event: TraceEvent) -> TraceEvent:
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: EventKind) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def launches(self) -> List[TraceEvent]:
+        return self.of_kind(EventKind.LAUNCH)
+
+    def kernels(self) -> List[TraceEvent]:
+        return self.of_kind(EventKind.KERNEL)
+
+    def memcpys(self) -> List[TraceEvent]:
+        return self.of_kind(EventKind.MEMCPY)
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        return [e for e in self.events if predicate(e)]
+
+    def total_duration_ns(self, kind: Optional[EventKind] = None) -> int:
+        events: Iterable[TraceEvent] = (
+            self.events if kind is None else self.of_kind(kind)
+        )
+        return sum(e.duration_ns for e in events)
+
+    def span_ns(self) -> int:
+        """Wall-clock span from first event start to last event end."""
+        if not self.events:
+            return 0
+        return max(e.end_ns for e in self.events) - min(
+            e.start_ns for e in self.events
+        )
+
+    def sorted_by_start(self) -> List[TraceEvent]:
+        return sorted(self.events, key=lambda e: (e.start_ns, e.end_ns))
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_trace(self) -> str:
+        """Chrome tracing JSON (open in chrome://tracing or Perfetto)."""
+        rows = []
+        track = {
+            EventKind.LAUNCH: "CPU:driver",
+            EventKind.ALLOC: "CPU:api",
+            EventKind.FREE: "CPU:api",
+            EventKind.SYNC: "CPU:api",
+            EventKind.KERNEL: "GPU:compute",
+            EventKind.MEMCPY: "GPU:copy",
+        }
+        for event in self.sorted_by_start():
+            args = {
+                key: (value.value if hasattr(value, "value") else value)
+                for key, value in event.attrs.items()
+            }
+            # Preserve queue time and stream so the trace round-trips
+            # through repro.profiler.importers losslessly.
+            args["queue_us"] = event.queue_ns / 1000.0
+            if event.stream is not None:
+                args["stream"] = event.stream
+            rows.append(
+                {
+                    "name": event.name,
+                    "cat": event.kind.value,
+                    "ph": "X",
+                    "ts": event.start_ns / 1000.0,  # chrome uses us
+                    "dur": event.duration_ns / 1000.0,
+                    "pid": self.label or "app",
+                    "tid": track[event.kind],
+                    "args": args,
+                }
+            )
+        return json.dumps({"traceEvents": rows}, indent=1)

@@ -1,0 +1,130 @@
+"""Trace event model — the simulator's Nsight-Systems equivalent.
+
+Every timed activity in the runtime/GPU emits one :class:`TraceEvent`.
+The vocabulary matches the categories the paper's analysis uses:
+Launch (KLO), Kernel (KET, with queuing KQT), Memcpy, Alloc, Free, and
+Sync.  Queuing times are attached to the event they precede (``lqt_ns``
+on launches, ``kqt_ns`` on kernels) exactly as defined in Sec. V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from ..config import CopyKind, MemoryKind
+
+
+class EventKind(Enum):
+    LAUNCH = "launch"
+    KERNEL = "kernel"
+    MEMCPY = "memcpy"
+    ALLOC = "alloc"
+    FREE = "free"
+    SYNC = "sync"
+
+
+@dataclass
+class TraceEvent:
+    """One timed activity on the CPU or GPU timeline."""
+
+    kind: EventKind
+    name: str
+    start_ns: int
+    duration_ns: int
+    # Queuing time immediately preceding this event (Sec. V):
+    #   launches carry LQT, kernels carry KQT.
+    queue_ns: int = 0
+    stream: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+    def __post_init__(self) -> None:
+        if self.duration_ns < 0:
+            raise ValueError("event duration must be non-negative")
+        if self.queue_ns < 0:
+            raise ValueError("queue time must be non-negative")
+
+
+def launch_event(
+    name: str,
+    start_ns: int,
+    duration_ns: int,
+    lqt_ns: int,
+    stream: int,
+    first: bool = False,
+) -> TraceEvent:
+    return TraceEvent(
+        EventKind.LAUNCH,
+        name,
+        start_ns,
+        duration_ns,
+        queue_ns=lqt_ns,
+        stream=stream,
+        attrs={"first": first},
+    )
+
+
+def kernel_event(
+    name: str,
+    start_ns: int,
+    duration_ns: int,
+    kqt_ns: int,
+    stream: int,
+    uvm: bool = False,
+    faulted_pages: int = 0,
+) -> TraceEvent:
+    return TraceEvent(
+        EventKind.KERNEL,
+        name,
+        start_ns,
+        duration_ns,
+        queue_ns=kqt_ns,
+        stream=stream,
+        attrs={"uvm": uvm, "faulted_pages": faulted_pages},
+    )
+
+
+def memcpy_event(
+    copy_kind: CopyKind,
+    start_ns: int,
+    duration_ns: int,
+    size_bytes: int,
+    memory: MemoryKind,
+    stream: int = 0,
+    managed: bool = False,
+) -> TraceEvent:
+    return TraceEvent(
+        EventKind.MEMCPY,
+        f"memcpy_{copy_kind.value}",
+        start_ns,
+        duration_ns,
+        stream=stream,
+        attrs={
+            "copy_kind": copy_kind,
+            "bytes": size_bytes,
+            "memory": memory,
+            # Nsight labels CC pinned-copies as "Managed" D2D (Sec. VI-A).
+            "managed": managed,
+        },
+    )
+
+
+def alloc_event(api: str, start_ns: int, duration_ns: int, size_bytes: int) -> TraceEvent:
+    return TraceEvent(
+        EventKind.ALLOC, api, start_ns, duration_ns, attrs={"bytes": size_bytes}
+    )
+
+
+def free_event(api: str, start_ns: int, duration_ns: int, size_bytes: int) -> TraceEvent:
+    return TraceEvent(
+        EventKind.FREE, api, start_ns, duration_ns, attrs={"bytes": size_bytes}
+    )
+
+
+def sync_event(name: str, start_ns: int, duration_ns: int) -> TraceEvent:
+    return TraceEvent(EventKind.SYNC, name, start_ns, duration_ns)

@@ -1,0 +1,72 @@
+"""Flame-graph folding and rendering (paper Fig. 8).
+
+Takes the folded stacks from :class:`repro.tdx.CallStackRecorder` and
+builds an aggregated call tree with inclusive times, plus a simple
+ASCII rendering used by the Fig. 8 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class FlameNode:
+    name: str
+    self_ns: int = 0
+    children: Dict[str, "FlameNode"] = field(default_factory=dict)
+
+    @property
+    def total_ns(self) -> int:
+        return self.self_ns + sum(c.total_ns for c in self.children.values())
+
+    def child(self, name: str) -> "FlameNode":
+        node = self.children.get(name)
+        if node is None:
+            node = FlameNode(name)
+            self.children[name] = node
+        return node
+
+
+def build_tree(samples: Dict[Tuple[str, ...], int], root_name: str = "root") -> FlameNode:
+    """Aggregate {stack: self_ns} samples into a call tree."""
+    root = FlameNode(root_name)
+    for stack, self_ns in samples.items():
+        node = root
+        for frame in stack:
+            node = node.child(frame)
+        node.self_ns += self_ns
+    return root
+
+
+def render_ascii(root: FlameNode, width: int = 72) -> str:
+    """Indented tree with per-frame inclusive time and share of root."""
+    lines: List[str] = []
+    total = max(root.total_ns, 1)
+
+    def visit(node: FlameNode, depth: int) -> None:
+        share = node.total_ns / total * 100.0
+        label = f"{'  ' * depth}{node.name}"
+        timing = f"{node.total_ns / 1000.0:10.2f} us {share:5.1f}%"
+        pad = max(1, width - len(label))
+        lines.append(f"{label}{' ' * pad}{timing}")
+        for child in sorted(
+            node.children.values(), key=lambda c: -c.total_ns
+        ):
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def frame_share(root: FlameNode, frame_name: str) -> float:
+    """Inclusive share [0,1] of all stacks passing through frame_name."""
+    total = max(root.total_ns, 1)
+
+    def inclusive(node: FlameNode) -> int:
+        if node.name == frame_name:
+            return node.total_ns
+        return sum(inclusive(child) for child in node.children.values())
+
+    return inclusive(root) / total

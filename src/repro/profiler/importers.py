@@ -1,0 +1,128 @@
+"""Trace importers: apply the paper's analysis to external captures.
+
+Two formats:
+
+* **Chrome trace JSON** — the format this repository exports
+  (:meth:`Trace.to_chrome_trace`), and what Perfetto/`nsys export`
+  pipelines can be massaged into.  Events are complete-phase ("ph":
+  "X") rows; the importer maps categories back onto the trace-event
+  vocabulary, so ``decompose`` / ``breakdown`` / the metric extractors
+  run on imported traces exactly as on simulated ones.
+* **Nsight-style CSV rows** via :func:`from_rows` — a minimal
+  programmatic entry point (kind, name, start_us, dur_us, queue_us)
+  for users who already parsed their profiler output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..config import CopyKind, MemoryKind
+from .collector import Trace
+from .events import EventKind, TraceEvent
+
+
+class ImportError_(ValueError):
+    """Malformed trace input."""
+
+
+_KIND_BY_NAME = {kind.value: kind for kind in EventKind}
+_COPY_BY_NAME = {kind.value: kind for kind in CopyKind}
+_MEMORY_BY_NAME = {kind.value: kind for kind in MemoryKind}
+
+
+def _revive_attrs(kind: EventKind, args: Dict) -> Tuple[Dict, int, Optional[int]]:
+    attrs = dict(args)
+    queue_ns = int(round(float(attrs.pop("queue_us", 0.0)) * 1000))
+    stream = attrs.pop("stream", None)
+    if kind is EventKind.MEMCPY:
+        copy_name = attrs.get("copy_kind")
+        if isinstance(copy_name, str):
+            if copy_name not in _COPY_BY_NAME:
+                raise ImportError_(f"unknown copy kind {copy_name!r}")
+            attrs["copy_kind"] = _COPY_BY_NAME[copy_name]
+        memory_name = attrs.get("memory")
+        if isinstance(memory_name, str):
+            if memory_name not in _MEMORY_BY_NAME:
+                raise ImportError_(f"unknown memory kind {memory_name!r}")
+            attrs["memory"] = _MEMORY_BY_NAME[memory_name]
+    return attrs, queue_ns, stream
+
+
+def from_chrome_trace(text: str, label: str = "imported") -> Trace:
+    """Parse a Chrome-trace JSON string into a :class:`Trace`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ImportError_(f"invalid JSON: {exc}") from exc
+    if isinstance(payload, dict):
+        rows = payload.get("traceEvents")
+    elif isinstance(payload, list):
+        rows = payload  # bare-array chrome trace variant
+    else:
+        rows = None
+    if not isinstance(rows, list):
+        raise ImportError_("expected a traceEvents array")
+    trace = Trace(label=label)
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict) or row.get("ph") != "X":
+            continue  # ignore metadata/instant events
+        category = row.get("cat")
+        if category not in _KIND_BY_NAME:
+            continue  # foreign categories are skipped, not fatal
+        kind = _KIND_BY_NAME[category]
+        try:
+            start_ns = int(round(float(row["ts"]) * 1000))
+            duration_ns = int(round(float(row.get("dur", 0.0)) * 1000))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ImportError_(f"traceEvents[{index}]: bad ts/dur") from exc
+        attrs, queue_ns, stream = _revive_attrs(kind, row.get("args", {}))
+        trace.add(
+            TraceEvent(
+                kind=kind,
+                name=str(row.get("name", category)),
+                start_ns=start_ns,
+                duration_ns=duration_ns,
+                queue_ns=queue_ns,
+                stream=stream,
+                attrs=attrs,
+            )
+        )
+    return trace
+
+
+def load_chrome_trace(path: str, label: Optional[str] = None) -> Trace:
+    with open(path) as handle:
+        return from_chrome_trace(handle.read(), label=label or path)
+
+
+def from_rows(
+    rows: Iterable[Sequence],
+    label: str = "imported",
+) -> Trace:
+    """Build a trace from (kind, name, start_us, dur_us[, queue_us]) rows.
+
+    ``kind`` is one of launch/kernel/memcpy/alloc/free/sync.  This is
+    the minimal shape a user can extract from ``nsys stats`` CSVs.
+    """
+    trace = Trace(label=label)
+    for index, row in enumerate(rows):
+        if len(row) not in (4, 5):
+            raise ImportError_(
+                f"row {index}: expected 4 or 5 fields, got {len(row)}"
+            )
+        kind_name, name, start_us, dur_us = row[:4]
+        queue_us = row[4] if len(row) == 5 else 0.0
+        if kind_name not in _KIND_BY_NAME:
+            raise ImportError_(f"row {index}: unknown kind {kind_name!r}")
+        trace.add(
+            TraceEvent(
+                kind=_KIND_BY_NAME[kind_name],
+                name=str(name),
+                start_ns=int(round(float(start_us) * 1000)),
+                duration_ns=int(round(float(dur_us) * 1000)),
+                queue_ns=int(round(float(queue_us) * 1000)),
+            )
+        )
+    return trace

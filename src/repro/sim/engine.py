@@ -1,0 +1,323 @@
+"""Minimal deterministic discrete-event simulation engine.
+
+The engine is a small generator-coroutine kernel in the style of SimPy:
+processes are Python generators that ``yield`` events (timeouts, other
+processes, resource grants) and are resumed when those events trigger.
+
+Design constraints driving this implementation:
+
+* **Determinism.** Events scheduled for the same timestamp fire in
+  scheduling order (a monotonically increasing sequence number breaks
+  ties).  Time is integer nanoseconds (see :mod:`repro.units`).
+* **No external dependencies.** The engine is self-contained so that
+  the rest of the simulator is portable and easily testable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event starts *pending*, becomes *triggered* once :meth:`succeed`
+    or :meth:`fail` is called, and then invokes its callbacks exactly
+    once when the scheduler processes it.
+    """
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._state = Event.PENDING
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._state != Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == Event.PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Mark the event successful, scheduling callbacks after ``delay``."""
+        if self._state != Event.PENDING:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Mark the event failed; waiting processes will see the exception."""
+        if self._state != Event.PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately (same tick semantics).
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = Event.PROCESSED
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+        elif not self._ok and isinstance(self, Process):
+            # A process died with nobody waiting on it: surface the
+            # failure instead of losing it (detached GPU/engine
+            # processes must crash loudly on bugs).
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._value = value
+        self._ok = True
+        self._state = Event.TRIGGERED
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    The process event itself triggers when the generator returns (its
+    value is the generator's return value) or raises.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError("process target must be a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        init = Event(sim)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == Event.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        waiting, self._waiting_on = self._waiting_on, None
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wake = Event(self.sim)
+        wake.fail(Interrupt(cause))
+        wake.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.throw(
+                SimulationError(f"process yielded non-event: {target!r}")
+            )
+            return
+        if target.sim is not self.sim:
+            self._generator.throw(
+                SimulationError("process yielded event from another simulator")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when all child events have triggered successfully.
+
+    Its value is the list of child values, in the order given.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child._value for child in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers.
+
+    Its value is ``(index, value)`` of the first child to fire.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self._events):
+            event.add_callback(lambda ev, i=index: self._on_child(i, ev))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self.succeed((index, event._value))
+
+
+class Simulator:
+    """The event scheduler: a priority queue over (time, seq, event)."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: List[tuple] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # -- factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._process()
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain), an integer time in ns, or an
+        :class:`Event` (run until it is processed and return its value;
+        raises if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before target triggered"
+                    )
+                self.step()
+            if not until.ok:
+                raise until.value
+            return until.value
+        deadline = int(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = max(self._now, deadline)
+        return None

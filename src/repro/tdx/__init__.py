@@ -1,0 +1,14 @@
+"""CPU TEE substrate: trust-domain context, TDX cost primitives, and
+flame-graph call-stack recording (paper Sec. II-A, Fig. 2, Fig. 8)."""
+
+from .callstack import CallStackRecorder
+from .domain import GuestContext
+from .spdm import SpdmError, SpdmSession, attest_gpu
+
+__all__ = [
+    "CallStackRecorder",
+    "GuestContext",
+    "SpdmError",
+    "SpdmSession",
+    "attest_gpu",
+]

@@ -1,0 +1,61 @@
+"""Call-stack recording for perf-style flame graphs (paper Fig. 8).
+
+The simulated driver/TDX paths push named frames while they work; the
+recorder accumulates self-time per unique stack, which folds directly
+into Brendan-Gregg "folded stacks" format (``a;b;c <ns>``) — the input
+format for flamegraph.pl and speedscope.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+
+class CallStackRecorder:
+    """Accumulates (stack tuple) -> self-time in nanoseconds."""
+
+    def __init__(self) -> None:
+        self._current: List[str] = []
+        self._samples: Dict[Tuple[str, ...], int] = {}
+
+    @contextmanager
+    def frame(self, name: str) -> Iterator[None]:
+        """Push a frame for the duration of a with-block."""
+        self._current.append(name)
+        try:
+            yield
+        finally:
+            self._current.pop()
+
+    def record(self, self_time_ns: int, *extra_frames: str) -> None:
+        """Attribute ``self_time_ns`` to the current stack (+extras)."""
+        if self_time_ns <= 0:
+            return
+        stack = tuple(self._current) + tuple(extra_frames)
+        if not stack:
+            stack = ("<root>",)
+        self._samples[stack] = self._samples.get(stack, 0) + self_time_ns
+
+    @property
+    def samples(self) -> Dict[Tuple[str, ...], int]:
+        return dict(self._samples)
+
+    def total_ns(self) -> int:
+        return sum(self._samples.values())
+
+    def folded(self) -> List[str]:
+        """Folded-stacks lines, deterministic order (by stack)."""
+        return [
+            ";".join(stack) + f" {value}"
+            for stack, value in sorted(self._samples.items())
+        ]
+
+    def inclusive_ns(self, frame_name: str) -> int:
+        """Total time in stacks that contain ``frame_name`` anywhere."""
+        return sum(
+            value for stack, value in self._samples.items() if frame_name in stack
+        )
+
+    def clear(self) -> None:
+        self._samples.clear()

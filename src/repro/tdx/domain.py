@@ -1,0 +1,171 @@
+"""Guest execution context: a regular VM or a trust domain (TD).
+
+This is the CPU-side substrate of the paper's Fig. 2: the guest kernel
+plus device driver run inside a VM or TD; interactions with the outside
+world (hypervisor, TDX module, device MMIO) cost a VM exit — and under
+TDX a much more expensive tdx_hypercall through the SEAM-mode TDX
+module (the paper cites a +470 % latency increase [16]).
+
+All timed operations are generator coroutines to be driven by the
+simulation kernel; they also feed the Fig. 8 call-stack recorder and
+per-primitive counters used in overhead breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..crypto import throughput as crypto_throughput
+from ..mem import BounceBufferPool, HostMemory
+from ..sim import Simulator
+from .callstack import CallStackRecorder
+
+
+class GuestContext:
+    """A VM (cc off) or TD (cc on) with its memory and TDX cost model."""
+
+    def __init__(self, sim: Simulator, config: SystemConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.cc = config.cc_on
+        self.memory = HostMemory(
+            config.vm_memory_bytes, td=self.cc, page_size=config.tdx.page_size
+        )
+        self.bounce = BounceBufferPool(
+            config.tdx.bounce_pool_bytes, page_size=config.tdx.page_size
+        )
+        self.stacks = CallStackRecorder()
+        self.rng = np.random.default_rng(config.seed)
+        # Primitive counters for overhead attribution.
+        self.hypercall_count = 0
+        self.seamcall_count = 0
+        self.pages_accepted = 0
+        self.pages_converted = 0
+
+    # -- timing primitives -------------------------------------------------
+
+    def jitter(self, base_ns: int, sigma: float) -> int:
+        """Multiplicative lognormal jitter around ``base_ns``."""
+        if sigma <= 0 or base_ns <= 0:
+            return base_ns
+        factor = float(self.rng.lognormal(mean=0.0, sigma=sigma))
+        return max(1, int(base_ns * factor))
+
+    def cpu_work(self, base_ns: int) -> Generator:
+        """Ordinary guest CPU time; TDs pay a small TME-MK/TLB tax."""
+        duration = base_ns
+        if self.cc:
+            duration = int(duration * self.config.cpu.td_compute_tax)
+        self.stacks.record(duration)
+        yield self.sim.timeout(duration)
+        return duration
+
+    def hypercall(self, reason: str = "tdx_hypercall") -> Generator:
+        """One guest->host transition and back.
+
+        In a regular VM this is a plain VM exit; in a TD it routes
+        through the TDX module (tdcall -> SEAM -> hypervisor -> back).
+        """
+        self.hypercall_count += 1
+        duration = self.config.hypercall_ns()
+        if self.cc:
+            with self.stacks.frame(reason):
+                with self.stacks.frame("tdx_module.__seamcall"):
+                    self.stacks.record(duration)
+        else:
+            with self.stacks.frame("vmexit"):
+                self.stacks.record(duration)
+        yield self.sim.timeout(duration)
+        return duration
+
+    def seamcall(self, reason: str = "seamcall") -> Generator:
+        """Host/TDX-module service call (only meaningful for TDs)."""
+        self.seamcall_count += 1
+        duration = self.config.tdx.seamcall_ns if self.cc else 0
+        if duration:
+            with self.stacks.frame(reason):
+                self.stacks.record(duration)
+            yield self.sim.timeout(duration)
+        return duration
+
+    def accept_pages(self, num_pages: int) -> Generator:
+        """tdh.mem.page.accept for newly mapped private pages."""
+        if not self.cc or num_pages <= 0:
+            return 0
+        self.pages_accepted += num_pages
+        duration = num_pages * self.config.tdx.page_accept_ns
+        with self.stacks.frame("tdx_accept_page"):
+            self.stacks.record(duration)
+        yield self.sim.timeout(duration)
+        return duration
+
+    def set_memory_decrypted(self, address: int, size: int) -> Generator:
+        """Private->shared conversion (Linux set_memory_decrypted()).
+
+        Cost is per page: EPT attribute flip via hypercall-mediated
+        mapping change plus TLB shootdown (paper Fig. 8 shows this frame
+        under dma_direct_alloc in the launch path).
+        """
+        converted = self.memory.set_memory_decrypted(address, size)
+        if converted == 0:
+            return 0
+        self.pages_converted += converted
+        duration = converted * self.config.tdx.page_convert_ns
+        with self.stacks.frame("set_memory_decrypted"):
+            with self.stacks.frame("__set_memory_enc_dec"):
+                self.stacks.record(duration)
+        yield self.sim.timeout(duration)
+        return duration
+
+    # -- bounce-buffer management -------------------------------------------
+
+    def dma_alloc_bounce(self, size: int) -> Generator:
+        """Allocate a DMA-capable bounce region (dma_alloc_* path).
+
+        Returns the bounce slot address.  Under CC this is the
+        dma_direct_alloc + swiotlb + set_memory_decrypted path from
+        Fig. 8; in a regular VM DMA goes direct and the "bounce" is
+        just an address reservation with negligible cost.
+        """
+        with self.stacks.frame("dma_direct_alloc"):
+            slot = self.bounce.alloc(size)
+            if self.cc:
+                with self.stacks.frame("swiotlb_tbl_map_single"):
+                    self.stacks.record(500 * max(1, size // (1 << 20)))
+                yield from self.hypercall("tdvmcall.mapgpa")
+                num_pages = (size + self.config.tdx.page_size - 1) // self.config.tdx.page_size
+                duration = num_pages * self.config.tdx.page_convert_ns
+                self.pages_converted += num_pages
+                with self.stacks.frame("set_memory_decrypted"):
+                    self.stacks.record(duration)
+                yield self.sim.timeout(duration)
+        return slot
+
+    def dma_free_bounce(self, slot: int) -> None:
+        self.bounce.free(slot)
+
+    # -- software crypto (OpenSSL AES-GCM with AES-NI, Sec. II-A) ------------
+
+    def crypt_time_ns(self, size: int, algorithm: Optional[str] = None) -> int:
+        alg = algorithm or self.config.tdx.transfer_cipher
+        single = crypto_throughput.crypt_time_ns(
+            size, alg, self.config.cpu.crypto_cpu
+        )
+        threads = max(1, self.config.tdx.crypto_threads)
+        return max(1, single // threads)
+
+    def encrypt(self, size: int, algorithm: Optional[str] = None) -> Generator:
+        """Software-encrypt ``size`` bytes for PCIe transfer (CC only)."""
+        if not self.cc or size <= 0:
+            return 0
+        duration = self.crypt_time_ns(size, algorithm)
+        with self.stacks.frame("openssl.EVP_EncryptUpdate"):
+            with self.stacks.frame("aesni_gcm_encrypt"):
+                self.stacks.record(duration)
+        yield self.sim.timeout(duration)
+        return duration
+
+    decrypt = encrypt  # AES-GCM encrypt/decrypt are symmetric in cost

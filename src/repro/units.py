@@ -1,0 +1,93 @@
+"""Canonical units used throughout the simulator.
+
+Time is represented as *integer nanoseconds* everywhere inside the
+simulation core.  Integer time keeps the discrete-event scheduler fully
+deterministic (no floating-point tie ambiguity) while still being fine
+enough to resolve sub-microsecond driver activity.  Figures and reports
+convert to microseconds/milliseconds at the edges.
+
+Sizes are plain integers in bytes.  Bandwidths are floats in bytes per
+second.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Nanoseconds (identity, rounds to int)."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Microseconds -> nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def sec(value: float) -> int:
+    """Seconds -> nanoseconds."""
+    return int(round(value * NS_PER_SEC))
+
+
+def to_us(t_ns: int) -> float:
+    """Nanoseconds -> microseconds."""
+    return t_ns / NS_PER_US
+
+
+def to_ms(t_ns: int) -> float:
+    """Nanoseconds -> milliseconds."""
+    return t_ns / NS_PER_MS
+
+
+def to_sec(t_ns: int) -> float:
+    """Nanoseconds -> seconds."""
+    return t_ns / NS_PER_SEC
+
+
+# --- sizes -----------------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+GB = 1_000_000_000  # decimal gigabyte, used for bandwidth reporting
+MB = 1_000_000
+KB = 1_000
+
+
+def transfer_time_ns(size_bytes: int, bandwidth_bytes_per_sec: float) -> int:
+    """Time to move ``size_bytes`` at ``bandwidth_bytes_per_sec``.
+
+    Always at least 1 ns for a non-empty transfer so that events retain
+    strict ordering.
+    """
+    if size_bytes <= 0:
+        return 0
+    if bandwidth_bytes_per_sec <= 0:
+        raise ValueError("bandwidth must be positive")
+    t = int(round(size_bytes / bandwidth_bytes_per_sec * NS_PER_SEC))
+    return max(t, 1)
+
+
+def bandwidth_gb_per_sec(size_bytes: int, duration_ns: int) -> float:
+    """Achieved bandwidth in decimal GB/s for a transfer."""
+    if duration_ns <= 0:
+        return float("inf") if size_bytes > 0 else 0.0
+    return size_bytes / (duration_ns / NS_PER_SEC) / GB
+
+
+def pages(size_bytes: int, page_size: int) -> int:
+    """Number of pages needed to hold ``size_bytes``."""
+    if size_bytes <= 0:
+        return 0
+    return (size_bytes + page_size - 1) // page_size

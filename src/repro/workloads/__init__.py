@@ -1,0 +1,44 @@
+"""Workloads: the benchmark-suite app catalogue and the paper's
+microbenchmarks (Listings 1-2)."""
+
+from .apps import (
+    CATALOG,
+    FIG5_APPS,
+    FIG7_APPS,
+    FIG9_APPS,
+    FIG10_APPS,
+    AppInfo,
+    get,
+    names,
+)
+from .microbench import (
+    BandwidthPoint,
+    FusionPoint,
+    OverlapPoint,
+    bandwidth_sweep,
+    fusion_sweep,
+    launch_sequence,
+    overlap_experiment,
+)
+from .spec import SpecError, WorkloadSpec, execute
+
+__all__ = [
+    "AppInfo",
+    "BandwidthPoint",
+    "CATALOG",
+    "FIG10_APPS",
+    "FIG5_APPS",
+    "FIG7_APPS",
+    "FIG9_APPS",
+    "FusionPoint",
+    "OverlapPoint",
+    "SpecError",
+    "WorkloadSpec",
+    "bandwidth_sweep",
+    "execute",
+    "fusion_sweep",
+    "get",
+    "launch_sequence",
+    "names",
+    "overlap_experiment",
+]

@@ -1,0 +1,214 @@
+"""Declarative workload specifications.
+
+A :class:`WorkloadSpec` describes an application as a list of
+operations (allocations, copies, launches, loops, syncs) that can be
+written by hand, loaded from JSON, or generated — so downstream users
+can model *their* applications on the simulated CC platform without
+writing coroutines.
+
+Operation vocabulary (op = dict with an ``"op"`` key):
+
+    {"op": "malloc",         "name": "A", "bytes": 4194304}
+    {"op": "malloc_host",    "name": "hA", "bytes": 4194304}          # pinned
+    {"op": "host_alloc",     "name": "hA", "bytes": 4194304}          # pageable
+    {"op": "malloc_managed", "name": "M", "bytes": 4194304}
+    {"op": "memcpy", "dst": "A", "src": "hA", "bytes": 4194304}       # optional bytes
+    {"op": "launch", "kernel": "k1", "flops": 1e9, "mem_bytes": 1e6,
+     "touches": [["M", 4194304]]}                                     # managed touches
+    {"op": "launch", "kernel": "sleep", "duration_us": 100}           # fixed-KET form
+    {"op": "sync"}
+    {"op": "cpu", "us": 5.0}                                          # host think time
+    {"op": "loop", "count": 10, "body": [ ...ops... ]}
+    {"op": "free", "name": "A"}
+
+Buffers are referenced by name; loops nest arbitrarily.  Validation
+errors carry the offending op index path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from .. import units
+from ..cuda import CudaRuntime
+from ..gpu import KernelSpec
+
+
+class SpecError(ValueError):
+    """Malformed workload specification."""
+
+
+_ALLOC_OPS = {"malloc", "malloc_host", "host_alloc", "malloc_managed"}
+_KNOWN_OPS = _ALLOC_OPS | {"memcpy", "launch", "sync", "cpu", "loop", "free"}
+
+
+@dataclass
+class WorkloadSpec:
+    """A named, validated list of operations."""
+
+    name: str
+    ops: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        declared: set = set()
+        self._validate_ops(self.ops, declared, path="ops")
+
+    def _validate_ops(self, ops: Sequence[Dict], declared: set, path: str) -> None:
+        if not isinstance(ops, (list, tuple)):
+            raise SpecError(f"{path}: expected a list of ops")
+        for index, op in enumerate(ops):
+            where = f"{path}[{index}]"
+            if not isinstance(op, dict) or "op" not in op:
+                raise SpecError(f"{where}: op must be a dict with an 'op' key")
+            kind = op["op"]
+            if kind not in _KNOWN_OPS:
+                raise SpecError(f"{where}: unknown op {kind!r}")
+            if kind in _ALLOC_OPS:
+                if "name" not in op or not isinstance(op.get("bytes"), int):
+                    raise SpecError(f"{where}: {kind} needs 'name' and int 'bytes'")
+                if op["bytes"] <= 0:
+                    raise SpecError(f"{where}: bytes must be positive")
+                declared.add(op["name"])
+            elif kind == "memcpy":
+                for key in ("dst", "src"):
+                    if op.get(key) not in declared:
+                        raise SpecError(
+                            f"{where}: memcpy {key} {op.get(key)!r} not allocated"
+                        )
+            elif kind == "launch":
+                if "kernel" not in op:
+                    raise SpecError(f"{where}: launch needs a 'kernel' name")
+                if "duration_us" not in op and "flops" not in op and "mem_bytes" not in op:
+                    raise SpecError(
+                        f"{where}: launch needs duration_us or flops/mem_bytes"
+                    )
+                for touch in op.get("touches", []):
+                    if (
+                        not isinstance(touch, (list, tuple))
+                        or len(touch) != 2
+                        or touch[0] not in declared
+                    ):
+                        raise SpecError(
+                            f"{where}: touches entries must be [buffer, bytes]"
+                        )
+            elif kind == "cpu":
+                if not isinstance(op.get("us"), (int, float)) or op["us"] < 0:
+                    raise SpecError(f"{where}: cpu needs non-negative 'us'")
+            elif kind == "loop":
+                count = op.get("count")
+                if not isinstance(count, int) or count < 0:
+                    raise SpecError(f"{where}: loop needs non-negative int 'count'")
+                self._validate_ops(op.get("body", []), declared, f"{where}.body")
+            elif kind == "free":
+                if op.get("name") not in declared:
+                    raise SpecError(f"{where}: free of unknown buffer {op.get('name')!r}")
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({"name": self.name, "ops": self.ops}, indent=1)
+
+    @staticmethod
+    def from_json(text: str) -> "WorkloadSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "name" not in payload:
+            raise SpecError("spec JSON must be an object with 'name' and 'ops'")
+        return WorkloadSpec(payload["name"], payload.get("ops", []))
+
+    @staticmethod
+    def load(path: str) -> "WorkloadSpec":
+        with open(path) as handle:
+            return WorkloadSpec.from_json(handle.read())
+
+    # -- execution --------------------------------------------------------
+
+    def app(self):
+        """Bind to an ``app(rt)`` callable for :func:`repro.cuda.run_app`."""
+
+        def bound(rt: CudaRuntime) -> Generator:
+            return (yield from execute(rt, self))
+
+        bound.__name__ = self.name
+        return bound
+
+    def total_launches(self) -> int:
+        """Static launch count (loops expanded)."""
+
+        def count(ops) -> int:
+            total = 0
+            for op in ops:
+                if op["op"] == "launch":
+                    total += 1
+                elif op["op"] == "loop":
+                    total += op["count"] * count(op.get("body", []))
+            return total
+
+        return count(self.ops)
+
+
+def _kernel_from_op(op: Dict[str, Any]) -> KernelSpec:
+    if "duration_us" in op:
+        return KernelSpec(
+            name=op["kernel"],
+            fixed_duration_ns=units.us(float(op["duration_us"])),
+        )
+    return KernelSpec(
+        name=op["kernel"],
+        flops=float(op.get("flops", 0.0)),
+        mem_bytes=int(op.get("mem_bytes", 0)),
+        precision=op.get("precision", "fp32"),
+        efficiency=op.get("efficiency"),
+    )
+
+
+def execute(rt: CudaRuntime, spec: WorkloadSpec) -> Generator:
+    """Run a validated spec against a runtime; returns buffer table."""
+    buffers: Dict[str, Any] = {}
+
+    def run_ops(ops) -> Generator:
+        for op in ops:
+            kind = op["op"]
+            if kind == "malloc":
+                buffers[op["name"]] = yield from rt.malloc(op["bytes"])
+            elif kind == "malloc_host":
+                buffers[op["name"]] = yield from rt.malloc_host(op["bytes"])
+            elif kind == "host_alloc":
+                buffers[op["name"]] = yield from rt.host_alloc(op["bytes"])
+            elif kind == "malloc_managed":
+                buffers[op["name"]] = yield from rt.malloc_managed(op["bytes"])
+            elif kind == "memcpy":
+                yield from rt.memcpy(
+                    buffers[op["dst"]], buffers[op["src"]], op.get("bytes")
+                )
+            elif kind == "launch":
+                touches = [
+                    (buffers[name], touched) for name, touched in op.get("touches", [])
+                ]
+                yield from rt.launch(_kernel_from_op(op), managed_touches=touches)
+            elif kind == "sync":
+                yield from rt.synchronize()
+            elif kind == "cpu":
+                yield from rt.cpu_gap(units.us(float(op["us"])))
+            elif kind == "loop":
+                for _ in range(op["count"]):
+                    yield from run_ops(op["body"])
+            elif kind == "free":
+                yield from rt.free(buffers.pop(op["name"]))
+
+    yield from run_ops(spec.ops)
+    # Free anything the spec left allocated (keeps machines leak-free).
+    for name in list(buffers):
+        buffer = buffers.pop(name)
+        if not buffer.freed:
+            yield from rt.free(buffer)
+    return None

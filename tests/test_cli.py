@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_apps_lists_catalogue(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "sc" in out
+    assert "polybench" in out
+
+
+def test_run_base(capsys):
+    assert main(["run", "2mm"]) == 0
+    out = capsys.readouterr().out
+    assert "2mm [base]" in out
+    assert "KLR" in out
+    assert "P predicted" in out
+
+
+def test_run_cc_uvm(capsys):
+    assert main(["run", "2dconv", "--cc", "--uvm"]) == 0
+    out = capsys.readouterr().out
+    assert "2dconv [cc uvm]" in out
+
+
+def test_run_teeio(capsys):
+    assert main(["run", "2mm", "--cc", "--teeio"]) == 0
+    assert "cc+teeio" in capsys.readouterr().out
+
+
+def test_run_writes_chrome_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main(["run", "2mm", "--trace", str(trace_path)]) == 0
+    content = trace_path.read_text()
+    assert '"traceEvents"' in content
+    assert "mm_kernel1" in content
+
+
+def test_run_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["run", "not-an-app"])
+
+
+def test_figures_single(tmp_path, capsys):
+    assert main(["figures", "fig04b", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig04b_crypto" in out
+    assert (tmp_path / "fig04b_crypto.json").exists()
+    assert (tmp_path / "fig04b_crypto.txt").exists()
+
+
+def test_figures_extension(tmp_path, capsys):
+    assert main(["figures", "teeio", "--out", str(tmp_path)]) == 0
+    assert (tmp_path / "ext_teeio.json").exists()
+
+
+def test_figures_unknown_id(tmp_path, capsys):
+    assert main(["figures", "fig99", "--out", str(tmp_path)]) == 2
+
+
+def test_bandwidth_table(capsys):
+    assert main(["bandwidth", "--sizes", "4096", "1048576"]) == 0
+    out = capsys.readouterr().out
+    assert "pinned" in out
+    assert "GB_per_s" in out
+
+
+def test_observations_subset(capsys):
+    assert main(["observations", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Observation 1: HOLDS" in out
+    assert "Observation 2: HOLDS" in out
+
+
+def test_analyze_roundtrip(tmp_path, capsys):
+    trace_path = tmp_path / "t.json"
+    assert main(["run", "sc", "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "launches 1611" in out
+    assert "KLR" in out
+    assert "P predicted" in out
+
+
+def test_whatif_overrides(capsys):
+    assert main([
+        "whatif", "2mm",
+        "--set", "tdx.td_hypercall_ns=1300",
+        "--set", "tdx.teeio=true",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cc+overrides" in out
+    assert "faster" in out
+
+
+def test_whatif_rejects_bad_setting():
+    with pytest.raises(SystemExit):
+        main(["whatif", "2mm", "--set", "nonsense"])
+    with pytest.raises(SystemExit):
+        main(["whatif", "2mm", "--set", "tdx.not_a_field=1"])
+
+
+def test_attest_cc(capsys):
+    assert main(["attest", "--cc"]) == 0
+    out = capsys.readouterr().out
+    assert "SPDM session established (TD)" in out
+    assert "session key" in out

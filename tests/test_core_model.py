@@ -1,0 +1,143 @@
+"""Tests for the Sec.-V performance model and Fig.-1 breakdown."""
+
+import pytest
+
+from repro import units
+from repro.config import SystemConfig
+from repro.core import breakdown, decompose, kernel_to_launch_ratio
+from repro.core.metrics import copy_time_by_kind, launch_metrics, mgmt_time_by_api
+from repro.config import CopyKind
+from repro.cuda import run_app
+from repro.gpu import nanosleep_kernel
+
+
+def sequential_app(rt):
+    """Copy-then-execute with sync between launches (no overlap)."""
+    dev = yield from rt.malloc(16 * units.MiB)
+    host = yield from rt.host_alloc(16 * units.MiB)
+    yield from rt.memcpy(dev, host)
+    kernel = nanosleep_kernel(units.us(200), name="work")
+    for _ in range(8):
+        yield from rt.launch(kernel)
+        yield from rt.synchronize()
+    yield from rt.memcpy(host, dev)
+    yield from rt.free(dev)
+    yield from rt.free(host)
+
+
+def overlap_app(rt):
+    """Streams: copies overlapped with long kernels."""
+    streams = [rt.create_stream() for _ in range(4)]
+    dev = yield from rt.malloc(64 * units.MiB)
+    host = yield from rt.malloc_host(64 * units.MiB)
+    kernel = nanosleep_kernel(units.ms(5), name="long")
+    for stream in streams:
+        yield from rt.launch(kernel, stream=stream)
+    copy_stream = rt.create_stream()
+    yield from rt.memcpy_async(dev, host, stream=copy_stream)
+    yield from rt.synchronize()
+
+
+def test_model_prediction_close_to_observed():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    model = decompose(trace)
+    assert abs(model.prediction_error) < 0.05
+
+
+def test_model_prediction_close_under_cc():
+    trace, _ = run_app(sequential_app, SystemConfig.confidential())
+    model = decompose(trace)
+    assert abs(model.prediction_error) < 0.05
+
+
+def test_alpha_zero_without_streams():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    model = decompose(trace)
+    assert model.alpha < 0.05
+
+
+def test_alpha_positive_with_streams():
+    trace, _ = run_app(overlap_app, SystemConfig.base())
+    model = decompose(trace)
+    assert model.alpha > 0.5
+
+
+def test_part_totals_are_nonnegative():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    model = decompose(trace)
+    assert model.part_a_ns >= 0
+    assert model.part_b_ns >= 0
+    assert model.part_c_ns >= 0
+    assert model.t_other_ns >= 0
+    assert 0.0 <= model.alpha <= 1.0
+    assert all(0.0 <= b <= 1.0 for b in model.betas)
+
+
+def test_summary_renders():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    text = decompose(trace).summary()
+    assert "predicted" in text
+    assert "alpha" in text
+
+
+def test_klr_finite_and_positive():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    klr = kernel_to_launch_ratio(trace)
+    assert klr > 0
+
+
+def test_launch_metrics_counts():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    metrics = launch_metrics(trace)
+    assert metrics.count == 8
+    assert metrics.total_klo_ns > 0
+
+
+def test_copy_time_by_kind_base():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    by_kind = copy_time_by_kind(trace)
+    assert by_kind[CopyKind.H2D] > 0
+    assert by_kind[CopyKind.D2H] > 0
+    assert by_kind[CopyKind.D2D] == 0
+
+
+def test_cc_pinned_copies_reclassified_d2d():
+    def pinned_copy(rt):
+        dev = yield from rt.malloc(8 * units.MiB)
+        host = yield from rt.malloc_host(8 * units.MiB)
+        yield from rt.memcpy(dev, host)
+
+    trace, _ = run_app(pinned_copy, SystemConfig.confidential())
+    by_kind = copy_time_by_kind(trace)
+    # The Nsight-visible view: the pinned copy shows up as Managed D2D.
+    assert by_kind[CopyKind.D2D] > 0
+    assert by_kind[CopyKind.H2D] == 0
+
+
+def test_mgmt_time_by_api_names():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    mgmt = mgmt_time_by_api(trace)
+    assert "cudaMalloc" in mgmt
+    assert "cudaFree" in mgmt
+
+
+def test_breakdown_covers_span():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    result = breakdown(trace)
+    assert result.span_ns == trace.span_ns()
+    assert sum(result.by_category_ns.values()) == result.span_ns
+    assert all(v >= 0 for v in result.by_category_ns.values())
+
+
+def test_breakdown_kernel_share_dominates_sequential_app():
+    trace, _ = run_app(sequential_app, SystemConfig.base())
+    result = breakdown(trace)
+    assert result.share("kernel") > 0.2
+
+
+def test_breakdown_empty_trace():
+    from repro.profiler import Trace
+
+    result = breakdown(Trace())
+    assert result.span_ns == 0
+    assert result.share("kernel") == 0.0

@@ -1,0 +1,209 @@
+"""Tests for CTR, GHASH, GCM, and XTS modes against published vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import AESCTR, AESGCM, AESXTS, GHASH, AuthenticationError
+
+
+# --- CTR ----------------------------------------------------------------
+
+
+def test_ctr_nist_sp800_38a_f51():
+    # NIST SP 800-38A F.5.1 CTR-AES128.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    nonce = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+    plaintext = bytes.fromhex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51"
+    )
+    expected = bytes.fromhex(
+        "874d6191b620e3261bef6864990db6ce"
+        "9806f66b7970fdff8617187bb9fffdff"
+    )
+    ctr = AESCTR(key)
+    assert ctr.crypt(nonce, plaintext) == expected
+    assert ctr.crypt(nonce, expected) == plaintext
+
+
+def test_ctr_partial_block():
+    ctr = AESCTR(b"\x01" * 16)
+    nonce = b"\x00" * 16
+    data = b"abcde"
+    assert ctr.crypt(nonce, ctr.crypt(nonce, data)) == data
+
+
+def test_ctr_rejects_bad_nonce():
+    with pytest.raises(ValueError):
+        AESCTR(b"\x00" * 16).crypt(b"\x00" * 8, b"data")
+
+
+# --- GHASH ---------------------------------------------------------------
+
+
+def test_ghash_zero_inputs():
+    ghash = GHASH(b"\x00" * 16)
+    ghash.update(b"\x00" * 16)
+    assert ghash.digest() == b"\x00" * 16
+
+
+def test_ghash_requires_16_byte_subkey():
+    with pytest.raises(ValueError):
+        GHASH(b"\x00" * 8)
+
+
+# --- GCM ----------------------------------------------------------------
+# Vectors from the original McGrew-Viega GCM spec / NIST validation set.
+
+GCM_VECTORS = [
+    # (key, iv, plaintext, aad, ciphertext, tag)
+    (
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "",
+        "",
+        "",
+        "58e2fccefa7e3061367f1d57a4e7455a",
+    ),
+    (
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "00000000000000000000000000000000",
+        "",
+        "0388dace60b6a392f328c2b971b2fe78",
+        "ab6e47d42cec13bdf53a67b21257bddf",
+    ),
+    (
+        "feffe9928665731c6d6a8f9467308308",
+        "cafebabefacedbaddecaf888",
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255",
+        "",
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985",
+        "4d5c2af327cd64a62cf35abd2ba6fab4",
+    ),
+    (
+        "feffe9928665731c6d6a8f9467308308",
+        "cafebabefacedbaddecaf888",
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39",
+        "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091",
+        "5bc94fbc3221a5db94fae95ae7121a47",
+    ),
+]
+
+
+@pytest.mark.parametrize("key,iv,pt,aad,ct,tag", GCM_VECTORS)
+def test_gcm_known_answer(key, iv, pt, aad, ct, tag):
+    gcm = AESGCM(bytes.fromhex(key))
+    ciphertext, computed_tag = gcm.encrypt(
+        bytes.fromhex(iv), bytes.fromhex(pt), bytes.fromhex(aad)
+    )
+    assert ciphertext.hex() == ct
+    assert computed_tag.hex() == tag
+    plaintext = gcm.decrypt(
+        bytes.fromhex(iv), ciphertext, computed_tag, bytes.fromhex(aad)
+    )
+    assert plaintext.hex() == pt
+
+
+def test_gcm_tamper_detection():
+    gcm = AESGCM(b"\x11" * 16)
+    ct, tag = gcm.encrypt(b"\x00" * 12, b"secret payload", b"hdr")
+    corrupted = bytes([ct[0] ^ 1]) + ct[1:]
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(b"\x00" * 12, corrupted, tag, b"hdr")
+
+
+def test_gcm_wrong_aad_rejected():
+    gcm = AESGCM(b"\x11" * 16)
+    ct, tag = gcm.encrypt(b"\x00" * 12, b"secret payload", b"hdr")
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(b"\x00" * 12, ct, tag, b"other")
+
+
+def test_gcm_non96bit_iv():
+    # GCM must also support IV lengths other than 96 bits via GHASH(J0).
+    gcm = AESGCM(b"\x22" * 16)
+    iv = b"\x03" * 16
+    ct, tag = gcm.encrypt(iv, b"x" * 33)
+    assert gcm.decrypt(iv, ct, tag) == b"x" * 33
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    iv=st.binary(min_size=12, max_size=12),
+    pt=st.binary(min_size=0, max_size=100),
+    aad=st.binary(min_size=0, max_size=40),
+)
+def test_gcm_roundtrip_property(key, iv, pt, aad):
+    gcm = AESGCM(key)
+    ct, tag = gcm.encrypt(iv, pt, aad)
+    assert len(ct) == len(pt)
+    assert gcm.decrypt(iv, ct, tag, aad) == pt
+
+
+# --- XTS ----------------------------------------------------------------
+
+
+def test_xts_ieee1619_vector1():
+    # IEEE 1619 Vector 1: all-zero keys and data unit 0.
+    xts = AESXTS(b"\x00" * 32)
+    ct = xts.encrypt(0, b"\x00" * 32)
+    assert ct.hex() == (
+        "917cf69ebd68b2ec9b9fe9a3eadda692"
+        "cd43d2f59598ed858c02c2652fbf922e"
+    )
+    assert xts.decrypt(0, ct) == b"\x00" * 32
+
+
+def test_xts_ieee1619_vector4_prefix():
+    # IEEE 1619 Vector 4 (first 32 bytes): sequential plaintext, sector 0.
+    key = bytes.fromhex(
+        "27182818284590452353602874713526"
+        "31415926535897932384626433832795"
+    )
+    plaintext = bytes(range(32))
+    xts = AESXTS(key)
+    ct = xts.encrypt(0, plaintext)
+    assert ct.hex().startswith("27a7479befa1d476489f308cd4cfa6e2")
+
+
+def test_xts_different_sectors_differ():
+    xts = AESXTS(b"\x07" * 32)
+    data = b"A" * 4096
+    assert xts.encrypt(0, data) != xts.encrypt(1, data)
+
+
+def test_xts_rejects_tiny_and_ragged_units():
+    xts = AESXTS(b"\x00" * 32)
+    with pytest.raises(ValueError):
+        xts.encrypt(0, b"\x00" * 8)
+    with pytest.raises(NotImplementedError):
+        xts.encrypt(0, b"\x00" * 24)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    key=st.binary(min_size=32, max_size=32),
+    sector=st.integers(min_value=0, max_value=2**64 - 1),
+    blocks=st.integers(min_value=1, max_value=8),
+    payload=st.binary(min_size=16, max_size=16),
+)
+def test_xts_roundtrip_property(key, sector, blocks, payload):
+    xts = AESXTS(key)
+    data = payload * blocks
+    assert xts.decrypt(sector, xts.encrypt(sector, data)) == data

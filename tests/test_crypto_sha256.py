@@ -1,0 +1,86 @@
+"""SHA-256 / HMAC-SHA256 / HKDF tests against published vectors."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import hkdf_expand, hmac_sha256, sha256
+
+
+# FIPS 180-4 / NIST examples.
+SHA_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+    (b"a" * 1_000_00, None),  # compared against hashlib below
+]
+
+
+@pytest.mark.parametrize("message,digest_hex", SHA_VECTORS)
+def test_sha256_known_answers(message, digest_hex):
+    expected = digest_hex or hashlib.sha256(message).hexdigest()
+    assert sha256(message).hex() == expected
+
+
+def test_sha256_padding_boundaries():
+    # Lengths around the 55/56/64-byte padding boundaries.
+    for length in (54, 55, 56, 57, 63, 64, 65, 119, 120):
+        message = bytes(range(length % 256)) * (length // max(length % 256, 1) + 1)
+        message = message[:length]
+        assert sha256(message) == hashlib.sha256(message).digest()
+
+
+# RFC 4231 test case 2.
+def test_hmac_rfc4231():
+    key = b"Jefe"
+    message = b"what do ya want for nothing?"
+    expected = (
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )
+    assert hmac_sha256(key, message).hex() == expected
+
+
+def test_hmac_long_key_hashed_first():
+    key = b"K" * 200  # > block size, must be pre-hashed
+    message = b"payload"
+    assert hmac_sha256(key, message) == std_hmac.new(
+        key, message, hashlib.sha256
+    ).digest()
+
+
+# RFC 5869 test case 1 (Expand step).
+def test_hkdf_rfc5869_case1():
+    prk = bytes.fromhex(
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    okm = hkdf_expand(prk, info, 42)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_hkdf_length_limit():
+    with pytest.raises(ValueError):
+        hkdf_expand(b"\x00" * 32, b"", 256 * 32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(message=st.binary(max_size=300))
+def test_sha256_matches_hashlib(message):
+    assert sha256(message) == hashlib.sha256(message).digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=st.binary(min_size=1, max_size=100), message=st.binary(max_size=200))
+def test_hmac_matches_stdlib(key, message):
+    assert hmac_sha256(key, message) == std_hmac.new(
+        key, message, hashlib.sha256
+    ).digest()

@@ -1,0 +1,64 @@
+"""Tests for the calibrated crypto throughput model (paper Fig. 4b)."""
+
+import pytest
+
+from repro import units
+from repro.crypto import throughput
+
+
+def test_paper_anchor_aes_gcm_emr():
+    # Paper: AES-GCM peak on EMR is 3.36 GB/s.
+    spec = throughput.spec("aes-128-gcm", throughput.EMR)
+    assert spec.peak_gbps == pytest.approx(3.36)
+
+
+def test_paper_anchor_ghash_emr():
+    # Paper: GHASH reaches up to 8.9 GB/s "at the cost of confidentiality".
+    spec = throughput.spec("ghash", throughput.EMR)
+    assert spec.peak_gbps == pytest.approx(8.9)
+    assert not spec.confidentiality
+    assert spec.integrity
+
+
+def test_ordering_matches_paper_shape():
+    # GHASH > CTR > GCM on both CPUs; GCM-128 > GCM-256.
+    for cpu in throughput.cpus():
+        ghash = throughput.spec("ghash", cpu).peak_gbps
+        ctr = throughput.spec("aes-128-ctr", cpu).peak_gbps
+        gcm128 = throughput.spec("aes-128-gcm", cpu).peak_gbps
+        gcm256 = throughput.spec("aes-256-gcm", cpu).peak_gbps
+        assert ghash > ctr > gcm128 > gcm256
+
+
+def test_effective_throughput_grows_with_size():
+    small = throughput.effective_throughput(64, "aes-128-gcm")
+    large = throughput.effective_throughput(units.MiB, "aes-128-gcm")
+    assert large > small
+    assert large <= 3.36
+
+
+def test_effective_throughput_approaches_peak():
+    at_1g = throughput.effective_throughput(units.GiB, "aes-128-gcm")
+    assert at_1g == pytest.approx(3.36, rel=0.01)
+
+
+def test_crypt_time_zero_bytes():
+    assert throughput.crypt_time_ns(0, "aes-128-gcm") == 0
+
+
+def test_crypt_time_rejects_negative():
+    with pytest.raises(ValueError):
+        throughput.crypt_time_ns(-1, "aes-128-gcm")
+
+
+def test_unknown_algorithm_and_cpu_rejected():
+    with pytest.raises(KeyError):
+        throughput.spec("rot13")
+    with pytest.raises(KeyError):
+        throughput.spec("aes-128-gcm", "z80")
+
+
+def test_cpu_and_algorithm_listing():
+    assert throughput.EMR in throughput.cpus()
+    assert throughput.GRACE in throughput.cpus()
+    assert "aes-128-gcm" in throughput.algorithms()

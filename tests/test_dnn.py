@@ -1,0 +1,95 @@
+"""Tests for the CNN training simulation (Fig. 13 behaviours)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.dnn import MODELS, MODEL_NAMES, get, train
+
+
+def test_model_zoo_complete():
+    assert set(MODEL_NAMES) == {
+        "vgg16",
+        "resnet50",
+        "mobilenetv2",
+        "squeezenet",
+        "attention92",
+        "inceptionv4",
+    }
+    with pytest.raises(KeyError):
+        get("alexnet")
+
+
+def test_model_derived_quantities():
+    model = get("vgg16")
+    assert model.bwd_flops_per_image == 2 * model.fwd_flops_per_image
+    assert model.step_launches > model.fwd_launches * 2
+
+
+def test_invalid_precision_rejected():
+    with pytest.raises(ValueError):
+        train(get("vgg16"), 64, "int3")
+
+
+def test_throughput_scales_with_batch():
+    model = get("resnet50")
+    small = train(model, 64, "fp32")
+    large = train(model, 1024, "fp32")
+    assert large.throughput_img_per_sec > small.throughput_img_per_sec
+
+
+def test_cc_reduces_throughput():
+    model = get("vgg16")
+    base = train(model, 64, "fp32", SystemConfig.base())
+    cc = train(model, 64, "fp32", SystemConfig.confidential())
+    assert cc.throughput_img_per_sec < base.throughput_img_per_sec
+    assert cc.epoch_time_sec > base.epoch_time_sec
+
+
+def test_large_batch_shrinks_cc_gap():
+    """Paper: batch 1024 cuts the average CC overhead to single digits."""
+    model = get("inceptionv4")
+    gap = {}
+    for batch in (64, 1024):
+        base = train(model, batch, "fp32", SystemConfig.base())
+        cc = train(model, batch, "fp32", SystemConfig.confidential())
+        gap[batch] = 1 - cc.throughput_img_per_sec / base.throughput_img_per_sec
+    assert gap[1024] < gap[64]
+
+
+def test_amp_hurts_small_batch_under_cc():
+    """Paper: AMP at batch 64 lowers CC throughput (extra cast ops)."""
+    model = get("mobilenetv2")
+    cc = SystemConfig.confidential()
+    fp32 = train(model, 64, "fp32", cc)
+    amp = train(model, 64, "amp", cc)
+    assert amp.throughput_img_per_sec < fp32.throughput_img_per_sec
+
+
+def test_amp_helps_large_batch():
+    model = get("attention92")
+    cc = SystemConfig.confidential()
+    fp32 = train(model, 1024, "fp32", cc)
+    amp = train(model, 1024, "amp", cc)
+    assert amp.throughput_img_per_sec > fp32.throughput_img_per_sec
+
+
+def test_fp16_beats_amp_at_1024():
+    """Paper: FP16 quantization further cuts training time at 1024."""
+    cc = SystemConfig.confidential()
+    for name in ("vgg16", "attention92"):
+        amp = train(get(name), 1024, "amp", cc)
+        fp16 = train(get(name), 1024, "fp16", cc)
+        assert fp16.epoch_time_sec < amp.epoch_time_sec, name
+
+
+def test_training_time_extrapolation():
+    result = train(get("squeezenet"), 256, "fp32")
+    assert result.training_time_sec(200) == pytest.approx(
+        result.epoch_time_sec * 200
+    )
+
+
+def test_deterministic_given_config():
+    a = train(get("vgg16"), 64, "fp32", SystemConfig.base())
+    b = train(get("vgg16"), 64, "fp32", SystemConfig.base())
+    assert a.step_time_ns == b.step_time_ns

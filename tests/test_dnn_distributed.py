@@ -1,0 +1,79 @@
+"""Tests for data-parallel CNN training across GPUs under CC."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.dnn import data_parallel_train, get
+from repro.multigpu import LinkSecurity
+
+MODEL = get("resnet50")
+
+
+def test_single_gpu_has_no_allreduce():
+    result = data_parallel_train(MODEL, 1, 256)
+    assert result.allreduce_ns == 0
+    assert result.scaling_efficiency == pytest.approx(1.0)
+
+
+def test_throughput_scales_with_gpus():
+    one = data_parallel_train(MODEL, 1, 256)
+    four = data_parallel_train(MODEL, 4, 256)
+    assert four.throughput_img_per_sec > 3 * one.throughput_img_per_sec
+    assert four.global_batch == 4 * 256
+
+
+def test_nvlink_scaling_efficiency_high():
+    result = data_parallel_train(MODEL, 8, 256, topology="nvlink")
+    assert result.scaling_efficiency > 0.95
+
+
+def test_nvl_pairs_slower_than_nvlink():
+    nvlink = data_parallel_train(MODEL, 4, 256, topology="nvl-pairs")
+    fabric = data_parallel_train(MODEL, 4, 256, topology="nvlink")
+    assert nvlink.allreduce_ns > fabric.allreduce_ns
+
+
+def test_cc_tax_explodes_on_nvl_pairs():
+    """The headline composition: gradient sync over the CC PCIe bridge
+    dominates distributed confidential training."""
+    base = data_parallel_train(
+        MODEL, 4, 256, config=SystemConfig.base(), topology="nvl-pairs"
+    )
+    cc = data_parallel_train(
+        MODEL, 4, 256, config=SystemConfig.confidential(), topology="nvl-pairs"
+    )
+    assert cc.allreduce_ns > 5 * base.allreduce_ns
+    assert cc.scaling_efficiency < base.scaling_efficiency - 0.2
+
+
+def test_cc_tax_small_on_pure_nvlink():
+    base = data_parallel_train(
+        MODEL, 4, 256, config=SystemConfig.base(), topology="nvlink"
+    )
+    cc = data_parallel_train(
+        MODEL, 4, 256, config=SystemConfig.confidential(), topology="nvlink"
+    )
+    # Batched link metadata keeps NVLink sync cheap even under CC.
+    assert cc.allreduce_ns < 1.2 * base.allreduce_ns
+
+
+def test_half_precision_halves_gradient_traffic():
+    fp32 = data_parallel_train(MODEL, 4, 256, "fp32", topology="nvl-pairs",
+                               config=SystemConfig.confidential())
+    fp16 = data_parallel_train(MODEL, 4, 256, "fp16", topology="nvl-pairs",
+                               config=SystemConfig.confidential())
+    assert fp16.allreduce_ns < 0.7 * fp32.allreduce_ns
+
+
+def test_epoch_time_uses_global_batch():
+    result = data_parallel_train(MODEL, 4, 256)
+    assert result.epoch_time_sec() > 0
+    bigger = data_parallel_train(MODEL, 8, 256)
+    assert bigger.epoch_time_sec() < result.epoch_time_sec()
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        data_parallel_train(MODEL, 0, 256)
+    with pytest.raises(ValueError):
+        data_parallel_train(MODEL, 4, 256, topology="token-ring")

@@ -1,0 +1,149 @@
+"""Tests for figure-result infrastructure, calibration registry, and
+config plumbing."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.calibration import PAPER, target, within
+from repro.config import CCMode, SystemConfig
+from repro.figures.common import FigureResult
+
+
+# --- FigureResult -------------------------------------------------------
+
+
+def _figure():
+    fig = FigureResult(
+        figure_id="fig_test",
+        title="Test figure",
+        columns=("name", "value"),
+        rows=[("alpha", 1.2345), ("beta", 123456.0)],
+        notes=["a note"],
+    )
+    fig.add_comparison("metric", 2.0, 2.1)
+    return fig
+
+
+def test_text_rendering():
+    text = _figure().to_text()
+    assert "fig_test" in text
+    assert "alpha" in text
+    assert "paper-vs-measured" in text
+    assert "a note" in text
+
+
+def test_json_roundtrip():
+    payload = json.loads(_figure().to_json())
+    assert payload["figure_id"] == "fig_test"
+    assert payload["rows"][0] == ["alpha", 1.2345]
+    assert payload["comparisons"][0]["paper"] == 2.0
+
+
+def test_save_writes_json_and_txt(tmp_path):
+    fig = _figure()
+    path = fig.save(str(tmp_path))
+    assert path.endswith("fig_test.json")
+    assert (tmp_path / "fig_test.txt").exists()
+    assert json.loads((tmp_path / "fig_test.json").read_text())
+
+
+def test_enum_cells_serialize(tmp_path):
+    from repro.config import CopyKind
+
+    fig = FigureResult("fig_enum", "t", ("kind",), [(CopyKind.H2D,)])
+    payload = json.loads(fig.to_json())
+    assert payload["rows"][0] == ["h2d"]
+
+
+# --- calibration registry ---------------------------------------------------
+
+
+def test_paper_registry_entries():
+    assert target("copy.mean_slowdown").value == 5.80
+    assert "Observation 3" in target("copy.mean_slowdown").source
+    with pytest.raises(KeyError):
+        target("nonexistent.metric")
+
+
+def test_within_tolerance():
+    assert within(5.9, "copy.mean_slowdown", rel_tol=0.05)
+    assert not within(8.0, "copy.mean_slowdown", rel_tol=0.05)
+
+
+def test_registry_covers_all_sections():
+    prefixes = {key.split(".")[0] for key in PAPER}
+    assert {"pcie", "crypto", "copy", "alloc", "launch", "ket", "cnn"} <= prefixes
+
+
+# --- config -----------------------------------------------------------------
+
+
+def test_config_modes():
+    assert SystemConfig.base().cc is CCMode.OFF
+    assert SystemConfig.confidential().cc is CCMode.ON
+    assert SystemConfig.confidential().cc_on
+
+
+def test_config_replace_is_functional():
+    base = SystemConfig.base()
+    other = base.replace(seed=1)
+    assert other.seed == 1
+    assert base.seed != 1
+
+
+def test_hypercall_cost_by_mode():
+    base = SystemConfig.base()
+    cc = SystemConfig.confidential()
+    assert base.hypercall_ns() == base.tdx.hypercall_ns
+    assert cc.hypercall_ns() == cc.tdx.td_hypercall_ns
+
+
+def test_table1_defaults_match_paper():
+    config = SystemConfig.base()
+    assert config.cpu.cores == 32
+    assert config.cpu.sockets == 2
+    assert config.cpu.freq_ghz == 2.1
+    assert config.gpu.hbm_bytes == 94 * units.GiB
+    assert config.pcie.generation == 5
+    assert config.pcie.lanes == 16
+    assert config.vm_memory_bytes == 64 * units.GiB
+
+
+def test_config_validate_accepts_defaults():
+    SystemConfig.base().validate()
+    SystemConfig.confidential().validate()
+
+
+def test_config_validate_rejects_nonsense():
+    import dataclasses
+
+    import pytest as _pytest
+
+    config = SystemConfig.base()
+    bad_gpu = config.replace(
+        gpu=dataclasses.replace(config.gpu, default_efficiency=1.5)
+    )
+    with _pytest.raises(ValueError, match="default_efficiency"):
+        bad_gpu.validate()
+    bad_tdx = config.replace(
+        tdx=dataclasses.replace(config.tdx, td_hypercall_ns=1)
+    )
+    with _pytest.raises(ValueError, match="td_hypercall_ns"):
+        bad_tdx.validate()
+
+
+def test_machine_rejects_invalid_config():
+    import dataclasses
+
+    import pytest as _pytest
+
+    from repro.cuda import Machine
+
+    config = SystemConfig.base()
+    bad = config.replace(
+        launch=dataclasses.replace(config.launch, launch_queue_depth=0)
+    )
+    with _pytest.raises(ValueError, match="launch_queue_depth"):
+        Machine(bad)

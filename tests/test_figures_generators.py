@@ -1,0 +1,158 @@
+"""Smoke + shape tests for every figure generator (small parameters so
+the whole file stays fast; the full-size runs live in benchmarks/)."""
+
+from repro import units
+from repro.figures import (
+    extensions,
+    fig01_overview,
+    fig03_model,
+    fig04_bandwidth,
+    fig05_copytime,
+    fig06_alloc,
+    fig07_launch,
+    fig08_flamegraph,
+    fig09_ket,
+    fig10_events,
+    fig11_cdf,
+    fig12_micro,
+    fig13_cnn,
+    fig14_llm,
+    table1_config,
+)
+
+
+def _columns_match(result):
+    for row in result.rows:
+        assert len(row) == len(result.columns), result.figure_id
+
+
+def test_table1():
+    result = table1_config.generate()
+    _columns_match(result)
+    assert any("H100" in str(row[1]) for row in result.rows)
+
+
+def test_fig01_small():
+    result = fig01_overview.generate(app_name="2mm")
+    _columns_match(result)
+    scenarios = {row[0] for row in result.rows}
+    assert scenarios == {"cc-off", "cc-on", "cc-on-uvm"}
+
+
+def test_fig03_small():
+    result = fig03_model.generate(app_names=("2mm",))
+    _columns_match(result)
+    assert len(result.rows) == 2  # base + cc
+
+
+def test_fig04a_small():
+    result = fig04_bandwidth.generate_4a(sizes=[4096, units.MiB])
+    _columns_match(result)
+    assert len(result.rows) == 16
+
+
+def test_fig04b():
+    result = fig04_bandwidth.generate_4b()
+    _columns_match(result)
+    assert {row[0] for row in result.rows} == {
+        "intel-emr-xeon-6530", "nvidia-grace"
+    }
+
+
+def test_fig05_small():
+    result = fig05_copytime.generate(app_names=["2mm", "cnn"])
+    _columns_match(result)
+
+
+def test_fig06_small():
+    result = fig06_alloc.generate(sizes=(4 * units.MiB, 64 * units.MiB))
+    _columns_match(result)
+    assert len(result.comparisons) == 9
+
+
+def test_fig07_small():
+    result = fig07_launch.generate(app_names=["2mm", "sc"])
+    _columns_match(result)
+    assert result.rows[-1][0] == "MEAN"
+
+
+def test_fig08():
+    result = fig08_flamegraph.generate()
+    _columns_match(result)
+    assert any("set_memory_decrypted" in row[0] for row in result.rows)
+
+
+def test_fig09_small():
+    result = fig09_ket.generate(app_names=["gramschm"])
+    _columns_match(result)
+
+
+def test_fig10_small():
+    result = fig10_events.generate(apps={"A": "gb_bfs", "C": "sc"})
+    _columns_match(result)
+    # Histogram column parses as ints.
+    for row in result.rows:
+        assert all(part.isdigit() for part in row[-1].split("|"))
+
+
+def test_fig11_small():
+    result = fig11_cdf.generate(app_names=["2mm", "sc"])
+    _columns_match(result)
+
+
+def test_fig12a_small():
+    result = fig12_micro.generate_12a(launches_per_kernel=10)
+    _columns_match(result)
+    assert len(result.rows) == 40  # 2 modes x 20 launches
+
+
+def test_fig12b_small():
+    result = fig12_micro.generate_12b(launch_counts=(1, 8), total_ket_ns=units.ms(5))
+    _columns_match(result)
+
+
+def test_fig12c_small():
+    result = fig12_micro.generate_12c(stream_counts=(1, 64))
+    _columns_match(result)
+
+
+def test_fig13_small():
+    result = fig13_cnn.generate(model_names=["vgg16"])
+    _columns_match(result)
+    assert len(result.rows) == 10  # 5 panels x 2 modes
+
+
+def test_fig14_small():
+    result = fig14_llm.generate(batch_sizes=[1, 64])
+    _columns_match(result)
+
+
+def test_extensions_small():
+    for generator in (
+        extensions.generate_teeio,
+        extensions.generate_attestation,
+    ):
+        result = generator()
+        _columns_match(result)
+
+
+def test_extensions_multigpu_and_model_load():
+    for generator in (
+        extensions.generate_multigpu,
+        extensions.generate_model_load,
+    ):
+        result = generator()
+        _columns_match(result)
+        assert result.comparisons
+
+
+def test_extension_distributed_small():
+    result = extensions.generate_distributed_training(gpu_counts=(1, 2))
+    _columns_match(result)
+    assert len(result.rows) == 8  # 2 topologies x 2 modes x 2 gpu counts
+
+
+def test_extension_sensitivity_small():
+    result = extensions.generate_sensitivity(seeds=(0, 1), apps=("2mm",))
+    _columns_match(result)
+    assert len(result.rows) == 2

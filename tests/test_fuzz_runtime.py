@@ -1,0 +1,117 @@
+"""Fuzz the CUDA runtime with randomly generated workload specs.
+
+Hypothesis builds structurally valid but arbitrary specs; every one
+must run to completion in both modes without leaks, with CC no faster
+than base, and with the Sec.-V model closing on the resulting traces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config import SystemConfig
+from repro.core import decompose
+from repro.cuda import Machine
+from repro.workloads import WorkloadSpec
+
+MiB = units.MiB
+
+
+@st.composite
+def workload_specs(draw):
+    """A random but valid spec over a small buffer universe."""
+    buffer_kinds = draw(
+        st.lists(
+            st.sampled_from(["malloc", "malloc_host", "host_alloc",
+                             "malloc_managed"]),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    ops = []
+    names = []
+    device_names, host_names, managed_names = [], [], []
+    for index, kind in enumerate(buffer_kinds):
+        name = f"buf{index}"
+        size = draw(st.integers(min_value=4096, max_value=4 * MiB))
+        ops.append({"op": kind, "name": name, "bytes": size})
+        names.append((name, size, kind))
+        if kind == "malloc":
+            device_names.append((name, size))
+        elif kind == "malloc_managed":
+            managed_names.append((name, size))
+        else:
+            host_names.append((name, size))
+
+    body = []
+    num_ops = draw(st.integers(min_value=1, max_value=6))
+    for _ in range(num_ops):
+        choice = draw(st.sampled_from(["launch", "memcpy", "cpu", "sync"]))
+        if choice == "launch":
+            op = {
+                "op": "launch",
+                "kernel": f"k{draw(st.integers(0, 2))}",
+                "duration_us": draw(st.integers(min_value=1, max_value=300)),
+            }
+            if managed_names and draw(st.booleans()):
+                name, size = draw(st.sampled_from(managed_names))
+                touched = draw(st.integers(min_value=1, max_value=size))
+                op["touches"] = [[name, touched]]
+            body.append(op)
+        elif choice == "memcpy" and device_names and host_names:
+            dev, dev_size = draw(st.sampled_from(device_names))
+            host, host_size = draw(st.sampled_from(host_names))
+            size = draw(st.integers(1, min(dev_size, host_size)))
+            if draw(st.booleans()):
+                body.append({"op": "memcpy", "dst": dev, "src": host, "bytes": size})
+            else:
+                body.append({"op": "memcpy", "dst": host, "src": dev, "bytes": size})
+        elif choice == "cpu":
+            body.append({"op": "cpu", "us": draw(st.floats(0.1, 50.0))})
+        else:
+            body.append({"op": "sync"})
+    loop_count = draw(st.integers(min_value=1, max_value=4))
+    ops.append({"op": "loop", "count": loop_count, "body": body})
+    ops.append({"op": "sync"})
+    return WorkloadSpec("fuzz", ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=workload_specs())
+def test_fuzz_runs_clean_in_both_modes(spec):
+    spans = {}
+    for label, config in (
+        ("base", SystemConfig.base()),
+        ("cc", SystemConfig.confidential()),
+    ):
+        machine = Machine(config)
+        machine.run(spec.app())
+        # No leaks anywhere.
+        assert machine.gpu.hbm.used_bytes == 0
+        assert machine.guest.memory.heap.used_bytes == 0
+        assert machine.guest.bounce.used_bytes == 0
+        machine.gpu.hbm.check_invariants()
+        spans[label] = machine.trace.span_ns()
+        # The model closes on arbitrary traces: predictions never
+        # exceed the observed span (untraced host think-time is the
+        # only unmodeled slack), and when there is GPU work the error
+        # is small.
+        model = decompose(machine.trace)
+        if model.span_ns > 0:
+            assert model.predicted_ns <= model.span_ns * 1.001
+            # The only unmodeled slack is untraced host time: explicit
+            # cpu ops plus per-launch app bookkeeping.  The prediction
+            # must account for everything else.
+            untraced_ns = 0
+            for op in spec.ops:
+                if op["op"] == "loop":
+                    for inner in op["body"]:
+                        if inner["op"] == "cpu":
+                            untraced_ns += op["count"] * units.us(inner["us"])
+            untraced_ns = int(untraced_ns * 1.05)
+            untraced_ns += spec.total_launches() * units.us(2.5)
+            slack = untraced_ns / model.span_ns
+            assert model.prediction_error >= -(slack + 0.03)
+        # Launch accounting matches the spec.
+        assert len(machine.trace.launches()) == spec.total_launches()
+    assert spans["cc"] >= spans["base"]

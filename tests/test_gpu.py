@@ -1,0 +1,170 @@
+"""Tests for GPU kernel cost models and the UVM subsystem."""
+
+import pytest
+
+from repro import units
+from repro.config import SystemConfig
+from repro.gpu import (
+    CC_KET_FACTOR,
+    KernelSpec,
+    UVMManager,
+    elementwise_kernel,
+    gemm_kernel,
+    nanosleep_kernel,
+)
+from repro.sim import Simulator
+from repro.tdx import GuestContext
+
+
+GPU = SystemConfig.base().gpu
+
+
+# --- kernel cost model ----------------------------------------------------
+
+
+def test_nanosleep_duration_exact():
+    kernel = nanosleep_kernel(units.ms(100))
+    assert kernel.base_duration_ns(GPU, cc=False) == units.ms(100)
+
+
+def test_cc_factor_applied():
+    kernel = nanosleep_kernel(units.ms(100))
+    ratio = kernel.base_duration_ns(GPU, cc=True) / units.ms(100)
+    assert ratio == pytest.approx(CC_KET_FACTOR, rel=1e-6)
+
+
+def test_gemm_compute_bound_duration():
+    kernel = gemm_kernel(4096, 4096, 4096)
+    flops = 2 * 4096**3
+    expected = flops / (GPU.fp32_flops * GPU.default_efficiency) * 1e9
+    assert kernel.base_duration_ns(GPU, cc=False) == pytest.approx(
+        expected + GPU.kernel_fixed_ns, rel=0.01
+    )
+
+
+def test_elementwise_memory_bound_duration():
+    kernel = elementwise_kernel(10_000_000, flops_per_element=1, bytes_per_element=16)
+    bytes_total = 160_000_000
+    expected = bytes_total / (GPU.hbm_bw * GPU.default_efficiency) * 1e9
+    assert kernel.base_duration_ns(GPU, cc=False) == pytest.approx(
+        expected + GPU.kernel_fixed_ns, rel=0.01
+    )
+
+
+def test_gemm_precision_changes_peak():
+    fp32 = gemm_kernel(2048, 2048, 2048, precision="fp32")
+    fp16 = gemm_kernel(2048, 2048, 2048, precision="fp16")
+    assert fp16.base_duration_ns(GPU, False) < fp32.base_duration_ns(GPU, False)
+
+
+def test_invalid_precision_rejected():
+    kernel = KernelSpec(name="bad", flops=1e9, precision="fp13")
+    with pytest.raises(ValueError):
+        kernel.base_duration_ns(GPU, False)
+
+
+def test_invalid_efficiency_rejected():
+    kernel = KernelSpec(name="bad", flops=1e9, efficiency=1.5)
+    with pytest.raises(ValueError):
+        kernel.base_duration_ns(GPU, False)
+
+
+def test_duration_minimum_one_ns():
+    kernel = KernelSpec(name="tiny", fixed_duration_ns=0)
+    assert kernel.base_duration_ns(GPU, False) >= 1
+
+
+def test_module_pages_attr_flows_through():
+    kernel = elementwise_kernel(100, name="fat", module_pages=200)
+    assert kernel.attrs["module_pages"] == 200.0
+
+
+# --- UVM subsystem ---------------------------------------------------------
+
+
+def _uvm(config):
+    sim = Simulator()
+    guest = GuestContext(sim, config)
+    return sim, UVMManager(sim, config, guest)
+
+
+def run(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+def test_register_uses_mode_specific_chunk():
+    config_base = SystemConfig.base()
+    config_cc = SystemConfig.confidential()
+    _, uvm_base = _uvm(config_base)
+    _, uvm_cc = _uvm(config_cc)
+    handle_b = uvm_base.register(units.MiB)
+    handle_c = uvm_cc.register(units.MiB)
+    assert uvm_base.allocation(handle_b).chunk_bytes == config_base.uvm.migration_chunk_bytes
+    assert uvm_cc.allocation(handle_c).chunk_bytes == config_cc.uvm.cc_migration_chunk_bytes
+
+
+def test_gpu_touch_migrates_then_free():
+    sim, uvm = _uvm(SystemConfig.base())
+    handle = uvm.register(4 * units.MiB)
+    migrated, elapsed = run(sim, uvm.gpu_touch(handle, 4 * units.MiB))
+    assert migrated == 4 * units.MiB
+    assert elapsed > 0
+    # Resident now: no second migration.
+    migrated2, elapsed2 = run(sim, uvm.gpu_touch(handle, 4 * units.MiB))
+    assert migrated2 == 0
+    assert elapsed2 == 0
+
+
+def test_cpu_touch_evicts_back():
+    sim, uvm = _uvm(SystemConfig.base())
+    handle = uvm.register(2 * units.MiB)
+    run(sim, uvm.gpu_touch(handle, 2 * units.MiB))
+    moved, elapsed = run(sim, uvm.cpu_touch(handle, units.MiB))
+    assert moved == units.MiB
+    assert elapsed > 0
+    # The evicted prefix must fault again on the GPU.
+    migrated, _ = run(sim, uvm.gpu_touch(handle, 2 * units.MiB))
+    assert migrated == units.MiB
+
+
+def test_cc_migration_much_slower_per_byte():
+    base_sim, base_uvm = _uvm(SystemConfig.base())
+    cc_sim, cc_uvm = _uvm(SystemConfig.confidential())
+    hb = base_uvm.register(4 * units.MiB)
+    hc = cc_uvm.register(4 * units.MiB)
+    _, t_base = run(base_sim, base_uvm.gpu_touch(hb, 4 * units.MiB))
+    _, t_cc = run(cc_sim, cc_uvm.gpu_touch(hc, 4 * units.MiB))
+    assert t_cc > 20 * t_base
+
+
+def test_fault_counting_batches_in_base_mode():
+    sim, uvm = _uvm(SystemConfig.base())
+    handle = uvm.register(4 * units.MiB)
+    run(sim, uvm.gpu_touch(handle, 4 * units.MiB))
+    # Prefetch migrates per VA block (2 MiB): two batches.
+    assert uvm.total_faults == 2
+
+
+def test_fault_counting_per_chunk_under_cc():
+    config = SystemConfig.confidential()
+    sim, uvm = _uvm(config)
+    handle = uvm.register(units.MiB)
+    run(sim, uvm.gpu_touch(handle, units.MiB))
+    assert uvm.total_faults == units.MiB // config.uvm.cc_migration_chunk_bytes
+
+
+def test_partial_touch_prefix_semantics():
+    sim, uvm = _uvm(SystemConfig.base())
+    handle = uvm.register(8 * units.MiB)
+    migrated, _ = run(sim, uvm.gpu_touch(handle, 2 * units.MiB))
+    assert migrated == 2 * units.MiB
+    migrated2, _ = run(sim, uvm.gpu_touch(handle, 8 * units.MiB))
+    assert migrated2 == 6 * units.MiB
+
+
+def test_unregister_removes_tracking():
+    _, uvm = _uvm(SystemConfig.base())
+    handle = uvm.register(units.MiB)
+    uvm.unregister(handle)
+    with pytest.raises(KeyError):
+        uvm.allocation(handle)

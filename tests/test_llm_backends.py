@@ -1,0 +1,132 @@
+"""Tests for LLM serving backends (Fig. 14 behaviours)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.llm import (
+    AWQ,
+    BF16,
+    HFBackend,
+    LLAMA3_8B,
+    VLLMBackend,
+    make_requests,
+)
+
+
+BASE = SystemConfig.base()
+CC = SystemConfig.confidential()
+
+
+def test_llama3_8b_parameter_count():
+    # ~8.0e9 parameters.
+    assert LLAMA3_8B.params == pytest.approx(8.0e9, rel=0.08)
+
+
+def test_kv_bytes_per_token():
+    # 32 layers x 2 (K,V) x 8 heads x 128 dim x 2 bytes = 128 KiB.
+    assert LLAMA3_8B.kv_bytes_per_token() == 131072
+
+
+def test_requests_seeded_and_varied():
+    reqs = make_requests(32, seed=3)
+    assert len(reqs) == 32
+    lengths = {r.gen_tokens for r in reqs}
+    assert len(lengths) > 4
+    assert reqs == make_requests(32, seed=3)
+
+
+def test_vllm_beats_hf_at_all_batches():
+    """Paper: vLLM outperforms HF across all configurations."""
+    for batch in (1, 8, 64):
+        reqs = make_requests(max(2 * batch, 8))
+        hf = HFBackend(quant=BF16).serve(BASE, reqs, batch)
+        vllm = VLLMBackend(quant=BF16).serve(BASE, reqs, batch)
+        assert vllm.tokens_per_sec > hf.tokens_per_sec, batch
+
+
+def test_vllm_beats_hf_even_under_cc():
+    reqs = make_requests(16)
+    hf_base = HFBackend(quant=BF16).serve(BASE, reqs, 8)
+    vllm_cc = VLLMBackend(quant=BF16).serve(CC, reqs, 8)
+    assert vllm_cc.tokens_per_sec > hf_base.tokens_per_sec
+
+
+def test_cc_reduces_throughput():
+    reqs = make_requests(16)
+    for quant in (BF16, AWQ):
+        off = VLLMBackend(quant=quant).serve(BASE, reqs, 8)
+        on = VLLMBackend(quant=quant).serve(CC, reqs, 8)
+        assert on.tokens_per_sec < off.tokens_per_sec, quant.name
+
+
+def test_awq_wins_small_batch_bf16_wins_large():
+    """Paper: AWQ > BF16 at small batch; BF16 >= AWQ at 64/128."""
+    for batch, awq_should_win in ((8, True), (128, False)):
+        reqs = make_requests(max(2 * batch, 8))
+        bf16 = VLLMBackend(quant=BF16).serve(BASE, reqs, batch)
+        awq = VLLMBackend(quant=AWQ).serve(BASE, reqs, batch)
+        if awq_should_win:
+            assert awq.tokens_per_sec > bf16.tokens_per_sec
+        else:
+            assert bf16.tokens_per_sec > awq.tokens_per_sec
+
+
+def test_throughput_scales_with_batch():
+    reqs = make_requests(128)
+    small = VLLMBackend(quant=BF16).serve(BASE, reqs, 1)
+    large = VLLMBackend(quant=BF16).serve(BASE, reqs, 32)
+    assert large.tokens_per_sec > 5 * small.tokens_per_sec
+
+
+def test_token_accounting_exact():
+    reqs = make_requests(12)
+    expected = sum(r.gen_tokens for r in reqs)
+    result = VLLMBackend(quant=BF16).serve(BASE, reqs, 4)
+    assert result.total_tokens == expected
+    result_hf = HFBackend(quant=BF16).serve(BASE, reqs, 4)
+    assert result_hf.total_tokens == expected
+
+
+def test_serve_result_metadata():
+    reqs = make_requests(8)
+    result = VLLMBackend(quant=AWQ).serve(CC, reqs, 4)
+    assert result.backend == "vllm"
+    assert result.quant == "awq"
+    assert result.cc is True
+    assert result.tokens_per_sec > 0
+
+
+def test_latency_samples_collected():
+    reqs = make_requests(12)
+    for backend_cls in (HFBackend, VLLMBackend):
+        result = backend_cls(quant=BF16).serve(BASE, reqs, 4)
+        assert len(result.e2e_ns) == len(reqs)
+        assert len(result.ttft_ns) == len(reqs)
+        assert result.ttft_ms(50) > 0
+        assert result.e2e_latency_ms(95) >= result.e2e_latency_ms(50)
+        # First token always precedes request completion.
+        assert min(result.e2e_ns) >= min(result.ttft_ns)
+
+
+def test_vllm_ttft_beats_hf():
+    """Continuous batching admits requests immediately; static batching
+    queues later batches behind earlier ones."""
+    reqs = make_requests(32)
+    hf = HFBackend(quant=BF16).serve(BASE, reqs, 8)
+    vllm = VLLMBackend(quant=BF16).serve(BASE, reqs, 8)
+    assert vllm.e2e_latency_ms(95) < hf.e2e_latency_ms(95)
+
+
+def test_cc_increases_latency():
+    reqs = make_requests(8)
+    off = VLLMBackend(quant=BF16).serve(BASE, reqs, 8)
+    on = VLLMBackend(quant=BF16).serve(CC, reqs, 8)
+    assert on.e2e_latency_ms(50) > off.e2e_latency_ms(50)
+
+
+def test_empty_percentiles_safe():
+    from repro.llm.backends import ServeResult
+
+    result = ServeResult("x", "bf16", False, 1, 0, 1)
+    assert result.ttft_ms() == 0.0
+    assert result.e2e_latency_ms(99) == 0.0

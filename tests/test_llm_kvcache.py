@@ -1,0 +1,118 @@
+"""Tests for the paged KV-cache block manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.llm import KVCacheError, OutOfBlocksError, PagedKVCache
+
+
+def make_cache(blocks=64, block_tokens=16, per_token=1024):
+    return PagedKVCache(blocks * block_tokens * per_token, block_tokens, per_token)
+
+
+def test_capacity_math():
+    cache = make_cache(blocks=64)
+    assert cache.num_blocks == 64
+    assert cache.free_blocks == 64
+    assert cache.blocks_needed(1) == 1
+    assert cache.blocks_needed(16) == 1
+    assert cache.blocks_needed(17) == 2
+
+
+def test_admit_allocates_prompt_blocks():
+    cache = make_cache()
+    blocks = cache.admit(1, prompt_tokens=40)
+    assert len(blocks) == 3
+    assert cache.used_blocks == 3
+    assert cache.sequence_length(1) == 40
+
+
+def test_append_token_allocates_on_boundary():
+    cache = make_cache(block_tokens=4)
+    cache.admit(1, prompt_tokens=4)
+    assert cache.append_token(1) is True  # token 5 -> new block
+    assert cache.append_token(1) is False  # token 6 fits
+    assert cache.sequence_length(1) == 6
+
+
+def test_release_returns_blocks():
+    cache = make_cache()
+    cache.admit(1, prompt_tokens=100)
+    held = cache.used_blocks
+    returned = cache.release(1)
+    assert returned == held
+    assert cache.free_blocks == cache.num_blocks
+
+
+def test_out_of_blocks_on_admit():
+    cache = make_cache(blocks=2, block_tokens=16)
+    assert not cache.can_admit(100)
+    with pytest.raises(OutOfBlocksError):
+        cache.admit(1, prompt_tokens=100)
+
+
+def test_out_of_blocks_on_decode():
+    cache = make_cache(blocks=1, block_tokens=4)
+    cache.admit(1, prompt_tokens=4)
+    with pytest.raises(OutOfBlocksError):
+        cache.append_token(1)
+
+
+def test_double_admit_rejected():
+    cache = make_cache()
+    cache.admit(1, prompt_tokens=10)
+    with pytest.raises(KVCacheError):
+        cache.admit(1, prompt_tokens=10)
+
+
+def test_unknown_sequence_rejected():
+    cache = make_cache()
+    with pytest.raises(KVCacheError):
+        cache.append_token(42)
+    with pytest.raises(KVCacheError):
+        cache.release(42)
+
+
+def test_invalid_construction():
+    with pytest.raises(KVCacheError):
+        PagedKVCache(100, 0, 10)
+    with pytest.raises(KVCacheError):
+        PagedKVCache(10, 16, 1024)  # less than one block
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("admit"), st.integers(1, 80)),
+            st.tuples(st.just("append"), st.integers(0, 10)),
+            st.tuples(st.just("release"), st.integers(0, 10)),
+        ),
+        max_size=80,
+    )
+)
+def test_property_block_conservation(ops):
+    cache = make_cache(blocks=32, block_tokens=8)
+    next_id = 0
+    live = []
+    for op, value in ops:
+        if op == "admit":
+            try:
+                cache.admit(next_id, value)
+                live.append(next_id)
+                next_id += 1
+            except OutOfBlocksError:
+                pass
+        elif op == "append" and live:
+            try:
+                cache.append_token(live[value % len(live)])
+            except OutOfBlocksError:
+                pass
+        elif op == "release" and live:
+            cache.release(live.pop(value % len(live)))
+        cache.check_invariants()
+    for seq in list(live):
+        cache.release(seq)
+    assert cache.free_blocks == cache.num_blocks

@@ -1,0 +1,197 @@
+"""Tests for the memory substrate: extent allocator, host memory with
+TD page states, and the bounce-buffer pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.mem import (
+    AllocatorError,
+    BounceBufferPool,
+    ExtentAllocator,
+    HostMemory,
+    OutOfMemoryError,
+    PageState,
+)
+
+
+# --- ExtentAllocator -----------------------------------------------------
+
+
+def test_alloc_free_roundtrip():
+    alloc = ExtentAllocator(1 << 20)
+    a = alloc.alloc(1000)
+    assert alloc.used_bytes == 1024  # rounded to alignment
+    assert alloc.free(a) == 1024
+    assert alloc.used_bytes == 0
+
+
+def test_alloc_respects_alignment():
+    alloc = ExtentAllocator(1 << 20, alignment=4096)
+    a = alloc.alloc(1)
+    b = alloc.alloc(1)
+    assert a % 4096 == 0
+    assert b % 4096 == 0
+    assert b >= a + 4096
+
+
+def test_out_of_memory():
+    alloc = ExtentAllocator(4096)
+    alloc.alloc(4096)
+    with pytest.raises(OutOfMemoryError):
+        alloc.alloc(1)
+
+
+def test_free_coalesces():
+    alloc = ExtentAllocator(3 * 256, alignment=256)
+    addrs = [alloc.alloc(256) for _ in range(3)]
+    for addr in addrs:
+        alloc.free(addr)
+    # After coalescing, a full-size allocation must succeed again.
+    big = alloc.alloc(3 * 256)
+    assert alloc.used_bytes == 3 * 256
+    alloc.free(big)
+
+
+def test_double_free_rejected():
+    alloc = ExtentAllocator(1 << 16)
+    a = alloc.alloc(512)
+    alloc.free(a)
+    with pytest.raises(AllocatorError):
+        alloc.free(a)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(AllocatorError):
+        ExtentAllocator(0)
+    with pytest.raises(AllocatorError):
+        ExtentAllocator(100, alignment=3)
+    alloc = ExtentAllocator(1 << 16)
+    with pytest.raises(AllocatorError):
+        alloc.alloc(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(1, 5000)),
+            st.tuples(st.just("free"), st.integers(0, 30)),
+        ),
+        max_size=60,
+    )
+)
+def test_property_allocator_invariants(ops):
+    alloc = ExtentAllocator(256 * 1024, alignment=256)
+    live = []
+    for op, value in ops:
+        if op == "alloc":
+            try:
+                live.append(alloc.alloc(value))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            alloc.free(live.pop(value % len(live)))
+        alloc.check_invariants()
+    for addr in live:
+        alloc.free(addr)
+    alloc.check_invariants()
+    assert alloc.used_bytes == 0
+
+
+# --- HostMemory ------------------------------------------------------------
+
+
+def test_td_pages_default_private():
+    mem = HostMemory(64 * units.MiB, td=True)
+    addr = mem.alloc(8192)
+    assert mem.page_state(addr) is PageState.PRIVATE
+    assert not mem.is_dma_capable(addr, 8192)
+
+
+def test_vm_pages_default_shared():
+    mem = HostMemory(64 * units.MiB, td=False)
+    addr = mem.alloc(8192)
+    assert mem.page_state(addr) is PageState.SHARED
+    assert mem.is_dma_capable(addr, 8192)
+
+
+def test_set_memory_decrypted_converts_pages():
+    mem = HostMemory(64 * units.MiB, td=True)
+    addr = mem.alloc(16384)
+    converted = mem.set_memory_decrypted(addr, 16384)
+    assert converted == 4
+    assert mem.is_dma_capable(addr, 16384)
+    # Idempotent.
+    assert mem.set_memory_decrypted(addr, 16384) == 0
+
+
+def test_set_memory_encrypted_round_trip():
+    mem = HostMemory(64 * units.MiB, td=True)
+    addr = mem.alloc(4096)
+    mem.set_memory_decrypted(addr, 4096)
+    assert mem.set_memory_encrypted(addr, 4096) == 1
+    assert not mem.is_dma_capable(addr, 4096)
+
+
+def test_conversion_noop_in_regular_vm():
+    mem = HostMemory(64 * units.MiB, td=False)
+    addr = mem.alloc(4096)
+    assert mem.set_memory_decrypted(addr, 4096) == 0
+
+
+def test_contents_read_write():
+    mem = HostMemory(64 * units.MiB, td=True)
+    addr = mem.alloc(4096)
+    mem.write(addr, b"hello")
+    assert mem.read(addr) == b"hello"
+    assert mem.read(addr, 2) == b"he"
+
+
+def test_free_clears_state():
+    mem = HostMemory(64 * units.MiB, td=True)
+    addr = mem.alloc(4096)
+    mem.set_memory_decrypted(addr, 4096)
+    mem.write(addr, b"x")
+    mem.free(addr)
+    addr2 = mem.alloc(4096)
+    assert addr2 == addr  # first-fit reuses the extent
+    assert mem.page_state(addr2) is PageState.PRIVATE
+    assert mem.read(addr2) == b""
+
+
+# --- BounceBufferPool -------------------------------------------------------
+
+
+def test_bounce_stage_and_peek():
+    pool = BounceBufferPool(1 * units.MiB)
+    slot = pool.alloc(4096)
+    pool.stage(slot, b"ciphertext-bytes")
+    assert pool.peek(slot) == b"ciphertext-bytes"
+    pool.free(slot)
+    assert pool.peek(slot) == b""
+
+
+def test_bounce_stage_requires_allocation():
+    pool = BounceBufferPool(1 * units.MiB)
+    with pytest.raises(AllocatorError):
+        pool.stage(0xB0000000, b"data")
+
+
+def test_bounce_stage_rejects_oversize():
+    pool = BounceBufferPool(1 * units.MiB)
+    slot = pool.alloc(4096)
+    with pytest.raises(AllocatorError):
+        pool.stage(slot, b"x" * 8192)
+
+
+def test_bounce_peak_usage_tracking():
+    pool = BounceBufferPool(1 * units.MiB)
+    a = pool.alloc(256 * 1024)
+    b = pool.alloc(256 * 1024)
+    pool.free(a)
+    assert pool.peak_usage == 512 * 1024
+    assert pool.used_bytes == 256 * 1024
+    assert pool.total_allocs == 2
+    pool.free(b)

@@ -1,0 +1,97 @@
+"""Tests for tree/hierarchical collectives and the algorithm picker."""
+
+import dataclasses
+
+from repro import units
+from repro.config import SystemConfig
+from repro.multigpu import (
+    LinkSecurity,
+    MultiGPUNode,
+    best_all_reduce,
+    hierarchical_all_reduce,
+    ring_all_reduce,
+    tree_all_reduce,
+)
+
+
+def test_tree_wins_small_messages_ring_wins_large():
+    node = MultiGPUNode(num_gpus=8)
+    small = 64 * units.KiB
+    large = units.GB
+    assert (
+        tree_all_reduce(node, small, LinkSecurity.NONE).time_ns
+        < ring_all_reduce(node, small, LinkSecurity.NONE).time_ns
+    )
+    assert (
+        ring_all_reduce(node, large, LinkSecurity.NONE).time_ns
+        < tree_all_reduce(node, large, LinkSecurity.NONE).time_ns
+    )
+
+
+def test_best_all_reduce_picks_minimum():
+    node = MultiGPUNode(num_gpus=8)
+    for size in (64 * units.KiB, units.GB):
+        best = best_all_reduce(node, size, LinkSecurity.NONE)
+        ring = ring_all_reduce(node, size, LinkSecurity.NONE)
+        tree = tree_all_reduce(node, size, LinkSecurity.NONE)
+        assert best.time_ns == min(ring.time_ns, tree.time_ns)
+
+
+def test_tree_security_ordering():
+    node = MultiGPUNode(num_gpus=8)
+    size = 64 * units.MiB
+    times = {
+        s: tree_all_reduce(node, size, s).time_ns for s in LinkSecurity
+    }
+    assert times[LinkSecurity.NONE] < times[LinkSecurity.BATCHED]
+    assert times[LinkSecurity.BATCHED] < times[LinkSecurity.NAIVE]
+
+
+def test_hierarchical_single_island_matches_ring_shape():
+    config = SystemConfig.base()
+    result = hierarchical_all_reduce(
+        config, num_islands=1, island_size=4,
+        size_bytes=256 * units.MiB, security=LinkSecurity.NONE,
+    )
+    ring = ring_all_reduce(
+        MultiGPUNode(num_gpus=4), 256 * units.MiB, LinkSecurity.NONE
+    )
+    assert result.time_ns == ring.time_ns
+    assert result.num_gpus == 4
+
+
+def test_hierarchical_pcie_bridge_is_the_bottleneck():
+    config = SystemConfig.base()
+    one_island = hierarchical_all_reduce(
+        config, 1, 2, 256 * units.MiB, LinkSecurity.NONE
+    )
+    two_islands = hierarchical_all_reduce(
+        config, 2, 2, 256 * units.MiB, LinkSecurity.NONE
+    )
+    # Crossing PCIe costs far more than staying on NVLink.
+    assert two_islands.time_ns > 2 * one_island.time_ns
+
+
+def test_hierarchical_cc_tax_hits_cross_island_phase():
+    base = hierarchical_all_reduce(
+        SystemConfig.base(), 2, 2, 256 * units.MiB, LinkSecurity.NONE
+    )
+    cc = hierarchical_all_reduce(
+        SystemConfig.confidential(), 2, 2, 256 * units.MiB,
+        LinkSecurity.BATCHED,
+    )
+    # The CC PCIe bounce+crypto path dominates: ~26 GB/s -> ~3 GB/s on
+    # the inter-island hops.
+    assert cc.time_ns > 3 * base.time_ns
+
+
+def test_hierarchical_teeio_recovers_cross_island():
+    cc = SystemConfig.confidential()
+    teeio = cc.replace(tdx=dataclasses.replace(cc.tdx, teeio=True))
+    slow = hierarchical_all_reduce(
+        cc, 2, 2, 256 * units.MiB, LinkSecurity.BATCHED
+    )
+    fast = hierarchical_all_reduce(
+        teeio, 2, 2, 256 * units.MiB, LinkSecurity.BATCHED
+    )
+    assert fast.time_ns < 0.4 * slow.time_ns

@@ -1,0 +1,90 @@
+"""Tests for the fusion/overlap optimization planners (Sec. VII-A)."""
+
+from repro import units
+from repro.config import SystemConfig
+from repro.optim import (
+    best_fusion_level,
+    compute_to_io_ratio,
+    graph_fusion_time,
+    sweep_fusion_levels,
+    sweep_graph_batches,
+    sweep_streams,
+)
+
+
+def test_fully_fused_is_suboptimal():
+    """Observation 7: the best fusion level is neither 1 nor max."""
+    plan = sweep_fusion_levels(
+        SystemConfig.confidential(),
+        total_ket_ns=units.ms(20),
+        launch_counts=(1, 4, 16, 64, 256),
+    )
+    assert plan.best_time_ns <= plan.fully_fused_time_ns
+    assert plan.best_level in plan.levels
+
+
+def test_fusion_reduces_cc_time_vs_many_launches():
+    # Launch-bound regime: 2 ms of total KET over 256 launches means
+    # per-kernel KET ~ KLO, so fusing launches shortens the run.
+    plan = sweep_fusion_levels(
+        SystemConfig.confidential(),
+        total_ket_ns=units.us(500),
+        launch_counts=(4, 256),
+    )
+    assert plan.levels[4] < plan.levels[256]
+
+
+def test_best_fusion_level_consistency():
+    counts = (1, 8, 64)
+    level = best_fusion_level(
+        SystemConfig.base(), total_ket_ns=units.ms(10), launch_counts=counts
+    )
+    assert level in counts
+
+
+def test_graph_fusion_beats_individual_launches_under_cc():
+    config = SystemConfig.confidential()
+    individual = graph_fusion_time(
+        config, num_launches=128, per_kernel_ns=units.us(5), graph_batch=1
+    )
+    batched = graph_fusion_time(
+        config, num_launches=128, per_kernel_ns=units.us(5), graph_batch=32
+    )
+    assert batched < individual
+
+
+def test_graph_batch_sweep_has_interior_optimum_or_monotone():
+    times = sweep_graph_batches(
+        SystemConfig.confidential(),
+        num_launches=128,
+        per_kernel_ns=units.us(5),
+        batches=(1, 8, 64),
+    )
+    assert times[8] <= times[1]
+
+
+def test_overlap_alpha_grows_with_streams():
+    plan = sweep_streams(
+        SystemConfig.base(),
+        total_bytes=256 * units.MB,
+        ket_ns=units.ms(5),
+        stream_counts=(1, 8),
+    )
+    assert plan.alphas[8] > plan.alphas[1]
+    assert plan.best_streams == 8
+
+
+def test_overlap_alpha_lower_under_cc():
+    kwargs = dict(
+        total_bytes=256 * units.MB, ket_ns=units.ms(2), stream_counts=(8,)
+    )
+    base = sweep_streams(SystemConfig.base(), **kwargs)
+    cc = sweep_streams(SystemConfig.confidential(), **kwargs)
+    assert cc.alphas[8] < base.alphas[8]
+
+
+def test_compute_to_io_ratio_lower_under_cc():
+    base = compute_to_io_ratio(SystemConfig.base(), 256 * units.MB, units.ms(50))
+    cc = compute_to_io_ratio(SystemConfig.confidential(), 256 * units.MB, units.ms(50))
+    # CC copies take longer, so the same KET buys a lower ratio.
+    assert cc < base

@@ -1,0 +1,161 @@
+"""Tests for the profiling layer: events, traces, CDFs, flame graphs,
+and trace exports."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.config import CopyKind, MemoryKind
+from repro.profiler import (
+    EventKind,
+    SummaryStats,
+    Trace,
+    build_tree,
+    cdf,
+    cdf_at,
+    frame_share,
+    kernel_event,
+    launch_event,
+    memcpy_event,
+    ratio_of_means,
+    ratio_of_totals,
+    render_ascii,
+    sync_event,
+)
+
+
+# --- events ------------------------------------------------------------
+
+
+def test_event_end_and_validation():
+    event = kernel_event("k", 100, 50, kqt_ns=10, stream=0)
+    assert event.end_ns == 150
+    with pytest.raises(ValueError):
+        kernel_event("k", 0, -1, kqt_ns=0, stream=0)
+    with pytest.raises(ValueError):
+        launch_event("l", 0, 1, lqt_ns=-1, stream=0)
+
+
+def test_memcpy_event_attrs():
+    event = memcpy_event(
+        CopyKind.H2D, 0, 100, 4096, MemoryKind.PINNED, managed=True
+    )
+    assert event.attrs["copy_kind"] is CopyKind.H2D
+    assert event.attrs["bytes"] == 4096
+    assert event.attrs["managed"] is True
+    assert event.name == "memcpy_h2d"
+
+
+# --- trace -------------------------------------------------------------
+
+
+def _sample_trace():
+    trace = Trace(label="sample")
+    trace.add(launch_event("l1", 0, 5, lqt_ns=0, stream=0))
+    trace.add(kernel_event("k1", 10, 100, kqt_ns=5, stream=0))
+    trace.add(memcpy_event(CopyKind.D2H, 120, 30, 1024, MemoryKind.PAGEABLE))
+    trace.add(sync_event("sync", 150, 10))
+    return trace
+
+
+def test_trace_queries():
+    trace = _sample_trace()
+    assert len(trace) == 4
+    assert len(trace.launches()) == 1
+    assert len(trace.kernels()) == 1
+    assert len(trace.memcpys()) == 1
+    assert trace.total_duration_ns(EventKind.KERNEL) == 100
+    assert trace.span_ns() == 160
+    assert trace.filter(lambda e: e.duration_ns > 20) == [
+        trace.events[1], trace.events[2]
+    ]
+
+
+def test_trace_sorted_by_start():
+    trace = Trace()
+    trace.add(kernel_event("late", 100, 10, kqt_ns=0, stream=0))
+    trace.add(kernel_event("early", 0, 10, kqt_ns=0, stream=0))
+    assert [e.name for e in trace.sorted_by_start()] == ["early", "late"]
+
+
+def test_chrome_trace_export_valid_json():
+    payload = json.loads(_sample_trace().to_chrome_trace())
+    events = payload["traceEvents"]
+    assert len(events) == 4
+    kernel = next(e for e in events if e["name"] == "k1")
+    assert kernel["ph"] == "X"
+    assert kernel["ts"] == pytest.approx(0.01)  # ns -> us
+    assert kernel["tid"] == "GPU:compute"
+    copy = next(e for e in events if e["name"].startswith("memcpy"))
+    assert copy["args"]["copy_kind"] == "d2h"
+
+
+# --- statistics ----------------------------------------------------------
+
+
+def test_summary_stats():
+    stats = SummaryStats.of([1, 2, 3, 4, 5])
+    assert stats.mean == 3
+    assert stats.median == 3
+    assert stats.minimum == 1
+    assert stats.maximum == 5
+    assert stats.total == 15
+    assert SummaryStats.of([]).count == 0
+
+
+def test_cdf_basic():
+    values, probs = cdf([3, 1, 2])
+    assert values == [1, 2, 3]
+    assert probs == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+
+def test_cdf_trim_top_matches_paper_rule():
+    values, _ = cdf(list(range(10)), trim_top=5)
+    assert values == [0, 1, 2, 3, 4]
+    with pytest.raises(ValueError):
+        cdf([1], trim_top=-1)
+    assert cdf([], trim_top=3) == ([], [])
+
+
+def test_cdf_at():
+    assert cdf_at([1, 2, 3, 4], 2) == 0.5
+    assert cdf_at([], 2) == 0.0
+
+
+def test_ratio_helpers():
+    assert ratio_of_means([2, 4], [1, 1]) == 3.0
+    assert ratio_of_totals([2, 4], [1, 2]) == 2.0
+    assert ratio_of_means([1], []) == float("inf")
+    assert ratio_of_totals([], []) == 1.0
+
+
+# --- flame graphs ---------------------------------------------------------
+
+
+def test_flame_tree_aggregation():
+    samples = {
+        ("a", "b"): 60,
+        ("a", "c"): 30,
+        ("a",): 10,
+    }
+    tree = build_tree(samples, root_name="root")
+    assert tree.total_ns == 100
+    a = tree.children["a"]
+    assert a.total_ns == 100
+    assert a.self_ns == 10
+    assert a.children["b"].total_ns == 60
+
+
+def test_frame_share():
+    tree = build_tree({("a", "hot"): 75, ("a", "cold"): 25})
+    assert frame_share(tree, "hot") == pytest.approx(0.75)
+    assert frame_share(tree, "missing") == 0.0
+
+
+def test_render_ascii_contains_frames_and_shares():
+    tree = build_tree({("launch", "hypercall"): 90, ("launch",): 10})
+    text = render_ascii(tree)
+    assert "launch" in text
+    assert "hypercall" in text
+    assert "90.0%" in text

@@ -1,0 +1,85 @@
+"""Tests for the reproduction-report aggregator."""
+
+import json
+
+from repro.cli import main
+from repro.figures.report import (
+    ComparisonRow,
+    accuracy_histogram,
+    comparison_rows,
+    load_results,
+    render,
+)
+
+
+def _write_result(tmp_path, figure_id, comparisons):
+    payload = {
+        "figure_id": figure_id,
+        "title": "t",
+        "columns": [],
+        "rows": [],
+        "notes": [],
+        "comparisons": comparisons,
+    }
+    (tmp_path / f"{figure_id}.json").write_text(json.dumps(payload))
+
+
+def test_load_and_rows(tmp_path):
+    _write_result(
+        tmp_path, "fig_x",
+        [{"metric": "m1", "paper": 2.0, "measured": 2.1}],
+    )
+    _write_result(
+        tmp_path, "fig_y",
+        [{"metric": "m2", "paper": 10.0, "measured": 14.0}],
+    )
+    assert len(load_results(str(tmp_path))) == 2
+    rows = comparison_rows(str(tmp_path))
+    assert len(rows) == 2
+    assert rows[0].relative_error == 0.05000000000000002 or abs(
+        rows[0].relative_error - 0.05
+    ) < 1e-9
+
+
+def test_malformed_json_skipped(tmp_path):
+    (tmp_path / "broken.json").write_text("{not json")
+    (tmp_path / "list.json").write_text("[1, 2]")
+    assert load_results(str(tmp_path)) == []
+
+
+def test_accuracy_histogram_buckets():
+    rows = [
+        ComparisonRow("f", "a", 1.0, 1.02),   # <=5%
+        ComparisonRow("f", "b", 1.0, 1.08),   # <=10%
+        ComparisonRow("f", "c", 1.0, 1.20),   # <=25%
+        ComparisonRow("f", "d", 1.0, 1.40),   # <=50%
+        ComparisonRow("f", "e", 1.0, 3.00),   # >50%
+        ComparisonRow("f", "z", 0.0, 1.0),    # n/a
+    ]
+    histogram = accuracy_histogram(rows)
+    assert histogram == {
+        "<=5%": 1, "<=10%": 1, "<=25%": 1, "<=50%": 1, ">50%": 1, "n/a": 1
+    }
+
+
+def test_render_table(tmp_path):
+    _write_result(
+        tmp_path, "fig_x",
+        [{"metric": "mean slowdown", "paper": 5.8, "measured": 5.5}],
+    )
+    text = render(str(tmp_path))
+    assert "mean slowdown" in text
+    assert "accuracy histogram" in text
+
+
+def test_render_empty_dir(tmp_path):
+    assert "no results" in render(str(tmp_path))
+
+
+def test_cli_report(tmp_path, capsys):
+    _write_result(
+        tmp_path, "fig_x",
+        [{"metric": "m", "paper": 1.0, "measured": 1.0}],
+    )
+    assert main(["report", "--dir", str(tmp_path)]) == 0
+    assert "1 paper-vs-measured" in capsys.readouterr().out

@@ -1,0 +1,322 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(10)
+        log.append(sim.now)
+        yield sim.timeout(5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [10, 15]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    result = []
+
+    def proc():
+        value = yield sim.timeout(3, value="payload")
+        result.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert result == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+
+    def proc(name):
+        yield sim.timeout(7)
+        order.append(name)
+
+    for name in "abcde":
+        sim.process(proc(name))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_process_return_value_via_run():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        return 42
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 42
+
+
+def test_process_waits_on_subprocess():
+    sim = Simulator()
+    trace = []
+
+    def child():
+        yield sim.timeout(20)
+        trace.append(("child-done", sim.now))
+        return "child-value"
+
+    def parent():
+        value = yield sim.process(child())
+        trace.append(("parent-resumed", sim.now, value))
+
+    sim.process(parent())
+    sim.run()
+    assert trace == [("child-done", 20), ("parent-resumed", 20, "child-value")]
+
+
+def test_process_exception_propagates_to_parent():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        with pytest.raises(ValueError):
+            yield sim.process(child())
+        return "handled"
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == "handled"
+
+
+def test_unhandled_process_exception_surfaces_at_run():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        raise RuntimeError("unhandled")
+
+    p = sim.process(proc())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run(until=p)
+
+
+def test_run_until_time_stops_clock_at_deadline():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(until=50)
+    assert sim.now == 50
+    sim.run()
+    assert sim.now == 100
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def worker(delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def parent():
+        procs = [sim.process(worker(d, v)) for d, v in [(30, "a"), (10, "b")]]
+        values = yield AllOf(sim, procs)
+        return values, sim.now
+
+    p = sim.process(parent())
+    values, when = sim.run(until=p)
+    assert values == ["a", "b"]
+    assert when == 30
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def parent():
+        first = yield sim.any_of([sim.timeout(50, "slow"), sim.timeout(5, "fast")])
+        return first, sim.now
+
+    p = sim.process(parent())
+    (index, value), when = sim.run(until=p)
+    assert (index, value) == (1, "fast")
+    assert when == 5
+
+
+def test_event_succeed_twice_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_interrupt_wakes_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    p = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(10)
+        p.interrupt("wake-up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [(10, "wake-up")]
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def user(name, hold):
+        req = res.request()
+        yield req
+        start = sim.now
+        yield sim.timeout(hold)
+        res.release(req)
+        spans.append((name, start, sim.now))
+
+    sim.process(user("a", 10))
+    sim.process(user("b", 5))
+    sim.run()
+    assert spans == [("a", 0, 10), ("b", 10, 15)]
+
+
+def test_resource_capacity_two_runs_pair_concurrently():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    starts = {}
+
+    def user(name):
+        req = res.request()
+        yield req
+        starts[name] = sim.now
+        yield sim.timeout(10)
+        res.release(req)
+
+    for name in ("a", "b", "c"):
+        sim.process(user(name))
+    sim.run()
+    assert starts["a"] == 0
+    assert starts["b"] == 0
+    assert starts["c"] == 10
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield sim.timeout(1)
+        res.release(req)
+
+    for name in "abcd":
+        sim.process(user(name))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for item in (1, 2, 3):
+            yield store.put(item)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert [item for _, item in got] == [1, 2, 3]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(25)
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(25, "late")]
+
+
+def test_bounded_store_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("x")
+        log.append(("put-x", sim.now))
+        yield store.put("y")
+        log.append(("put-y", sim.now))
+
+    def consumer():
+        yield sim.timeout(40)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-x", 0) in log
+    put_y = next(entry for entry in log if entry[0] == "put-y")
+    assert put_y[1] == 40
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 42
+
+    p = sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run(until=p)

@@ -1,0 +1,84 @@
+"""Tests for the SPDM attestation/session-establishment model."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.crypto.sha256 import sha256
+from repro.sim import Simulator
+from repro.tdx import GuestContext, SpdmError, attest_gpu
+from repro.tdx.spdm import SpdmMessage, SpdmResponder
+
+
+def _run_attest(config, **kwargs):
+    sim = Simulator()
+    guest = GuestContext(sim, config)
+    process = sim.process(attest_gpu(sim, guest, config, **kwargs))
+    session = sim.run(until=process)
+    return session, sim, guest
+
+
+def test_session_establishes_and_keys_agree():
+    session, _sim, _guest = _run_attest(SystemConfig.confidential())
+    assert len(session.session_key) == 16
+    assert session.messages == 7
+    assert len(session.transcript_hash) == 32
+
+
+def test_session_deterministic():
+    a, _, _ = _run_attest(SystemConfig.confidential())
+    b, _, _ = _run_attest(SystemConfig.confidential())
+    assert a.session_key == b.session_key
+    assert a.transcript_hash == b.transcript_hash
+
+
+def test_attestation_slower_inside_td():
+    base, base_sim, _ = _run_attest(SystemConfig.base())
+    cc, cc_sim, _ = _run_attest(SystemConfig.confidential())
+    assert cc.elapsed_ns > base.elapsed_ns
+    # Seven hypercall-mediated doorbells account for the gap.
+    assert cc.elapsed_ns - base.elapsed_ns > 6 * (
+        SystemConfig.confidential().hypercall_ns()
+        - SystemConfig.base().hypercall_ns()
+    )
+
+
+def test_wrong_measurement_rejected():
+    with pytest.raises(SpdmError, match="measurement"):
+        _run_attest(
+            SystemConfig.confidential(),
+            measurement=sha256(b"tampered-firmware"),
+            expected_measurement=sha256(b"h100-cc-fw"),
+        )
+
+
+def test_wrong_device_secret_rejected():
+    """A device without the provisioned secret fails the challenge."""
+    sim = Simulator()
+    config = SystemConfig.confidential()
+    guest = GuestContext(sim, config)
+    from repro.tdx.spdm import SpdmRequester
+
+    measurement = sha256(b"h100-cc-fw")
+    impostor = SpdmResponder(b"wrong-secret", measurement)
+    requester = SpdmRequester(
+        sim, guest, config, measurement, b"h100-provisioned-secret"
+    )
+    process = sim.process(requester.establish(impostor))
+    with pytest.raises(SpdmError, match="challenge proof"):
+        sim.run(until=process)
+
+
+def test_responder_rejects_unknown_code():
+    responder = SpdmResponder(b"secret", sha256(b"fw"))
+    with pytest.raises(SpdmError):
+        responder.handle(SpdmMessage(0x7F, b""))
+
+
+def test_session_key_differs_per_device_secret():
+    a, _, _ = _run_attest(
+        SystemConfig.confidential(), device_secret=b"device-a"
+    )
+    b, _, _ = _run_attest(
+        SystemConfig.confidential(), device_secret=b"device-b"
+    )
+    assert a.session_key != b.session_key

@@ -1,0 +1,125 @@
+"""Tests for trace import: chrome-trace round trip and row import."""
+
+import json
+
+import pytest
+
+from repro.config import CopyKind, SystemConfig
+from repro.core import decompose, launch_metrics, kernel_metrics
+from repro.cuda import run_app
+from repro.gpu import nanosleep_kernel
+from repro.profiler import from_chrome_trace, from_rows, load_chrome_trace
+from repro.profiler.importers import ImportError_
+from repro import units
+
+
+def _app(rt):
+    dev = yield from rt.malloc(4 * units.MiB)
+    host = yield from rt.host_alloc(4 * units.MiB)
+    yield from rt.memcpy(dev, host)
+    for _ in range(3):
+        yield from rt.launch(nanosleep_kernel(units.us(40), name="k"))
+        yield from rt.synchronize()
+    yield from rt.free(dev)
+    yield from rt.free(host)
+
+
+def test_chrome_roundtrip_preserves_metrics():
+    trace, _ = run_app(_app, SystemConfig.confidential())
+    clone = from_chrome_trace(trace.to_chrome_trace())
+    assert len(clone) == len(trace)
+    assert clone.span_ns() == trace.span_ns()
+    original_launch = launch_metrics(trace)
+    cloned_launch = launch_metrics(clone)
+    assert cloned_launch.klo_ns == original_launch.klo_ns
+    assert cloned_launch.lqt_ns == original_launch.lqt_ns
+    assert kernel_metrics(clone).kqt_ns == kernel_metrics(trace).kqt_ns
+
+
+def test_roundtrip_model_decomposition_identical():
+    trace, _ = run_app(_app, SystemConfig.base())
+    clone = from_chrome_trace(trace.to_chrome_trace())
+    original = decompose(trace)
+    imported = decompose(clone)
+    assert imported.part_b_ns == original.part_b_ns
+    assert imported.part_c_ns == original.part_c_ns
+    assert imported.t_mem_ns == original.t_mem_ns
+    assert imported.predicted_ns == original.predicted_ns
+
+
+def test_memcpy_enums_revived():
+    trace, _ = run_app(_app, SystemConfig.base())
+    clone = from_chrome_trace(trace.to_chrome_trace())
+    copy = clone.memcpys()[0]
+    assert copy.attrs["copy_kind"] is CopyKind.H2D
+
+
+def test_load_from_file(tmp_path):
+    trace, _ = run_app(_app, SystemConfig.base())
+    path = tmp_path / "trace.json"
+    path.write_text(trace.to_chrome_trace())
+    clone = load_chrome_trace(str(path))
+    assert len(clone) == len(trace)
+    assert clone.label == str(path)
+
+
+def test_foreign_events_skipped():
+    payload = {
+        "traceEvents": [
+            {"ph": "M", "name": "process_name"},  # metadata
+            {"ph": "X", "cat": "python", "name": "foreign", "ts": 0, "dur": 1},
+            {"ph": "X", "cat": "kernel", "name": "k", "ts": 10.0, "dur": 5.0,
+             "args": {"queue_us": 2.0}},
+        ]
+    }
+    trace = from_chrome_trace(json.dumps(payload))
+    assert len(trace) == 1
+    kernel = trace.kernels()[0]
+    assert kernel.start_ns == 10_000
+    assert kernel.queue_ns == 2_000
+
+
+def test_bare_array_variant_accepted():
+    rows = [{"ph": "X", "cat": "sync", "name": "s", "ts": 0, "dur": 3}]
+    trace = from_chrome_trace(json.dumps(rows))
+    assert len(trace) == 1
+
+
+def test_malformed_inputs_rejected():
+    with pytest.raises(ImportError_, match="invalid JSON"):
+        from_chrome_trace("{nope")
+    with pytest.raises(ImportError_, match="traceEvents"):
+        from_chrome_trace('{"other": 1}')
+    with pytest.raises(ImportError_, match="bad ts/dur"):
+        from_chrome_trace(json.dumps(
+            {"traceEvents": [{"ph": "X", "cat": "kernel", "name": "k",
+                              "ts": "NaN?", "dur": None}]}
+        ))
+    with pytest.raises(ImportError_, match="unknown copy kind"):
+        from_chrome_trace(json.dumps(
+            {"traceEvents": [{"ph": "X", "cat": "memcpy", "name": "m",
+                              "ts": 0, "dur": 1,
+                              "args": {"copy_kind": "sideways"}}]}
+        ))
+
+
+def test_from_rows_minimal():
+    trace = from_rows(
+        [
+            ("launch", "k", 0.0, 5.0),
+            ("kernel", "k", 8.0, 100.0, 3.0),
+            ("memcpy", "h2d", 120.0, 40.0),
+        ]
+    )
+    assert len(trace) == 3
+    assert trace.kernels()[0].queue_ns == 3_000
+    # The model runs on row-imported traces too.
+    model = decompose(trace)
+    assert model.span_ns == 160_000
+
+
+def test_from_rows_validation():
+    with pytest.raises(ImportError_, match="unknown kind"):
+        from_rows([("warp", "k", 0, 1)])
+    with pytest.raises(ImportError_, match="expected 4 or 5"):
+        from_rows([("kernel",)])

@@ -1,0 +1,94 @@
+"""Property-based tests on the transfer cost model: orderings the
+mechanisms must preserve for every size and memory kind."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config import CopyKind, MemoryKind, SystemConfig
+from repro.cuda.transfers import plan_copy
+from repro.sim import Simulator
+from repro.tdx import GuestContext
+
+BASE = SystemConfig.base()
+CC = SystemConfig.confidential()
+TEEIO = CC.replace(tdx=dataclasses.replace(CC.tdx, teeio=True))
+GUESTS = {
+    id(config): GuestContext(Simulator(), config)
+    for config in (BASE, CC, TEEIO)
+}
+
+
+def _plan(config, kind, size, memory, cold=True):
+    return plan_copy(config, GUESTS[id(config)], kind, size, memory, cold)
+
+
+sizes = st.integers(min_value=1, max_value=2 * units.GiB)
+kinds = st.sampled_from([CopyKind.H2D, CopyKind.D2H])
+memories = st.sampled_from([MemoryKind.PAGEABLE, MemoryKind.PINNED])
+
+
+@settings(max_examples=80, deadline=None)
+@given(size=sizes, kind=kinds, memory=memories)
+def test_cc_never_faster_than_base(size, kind, memory):
+    base = _plan(BASE, kind, size, memory).total_ns
+    cc = _plan(CC, kind, size, memory).total_ns
+    assert cc >= base
+
+
+@settings(max_examples=80, deadline=None)
+@given(size=sizes, kind=kinds, memory=memories)
+def test_cold_never_faster_than_warm(size, kind, memory):
+    cold = _plan(CC, kind, size, memory, cold=True).total_ns
+    warm = _plan(CC, kind, size, memory, cold=False).total_ns
+    assert cold >= warm
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    small=st.integers(min_value=1, max_value=units.GiB),
+    delta=st.integers(min_value=1, max_value=units.GiB),
+    kind=kinds,
+    memory=memories,
+)
+def test_monotone_in_size(small, delta, kind, memory):
+    for config in (BASE, CC, TEEIO):
+        t_small = _plan(config, kind, small, memory, cold=False).total_ns
+        t_large = _plan(config, kind, small + delta, memory, cold=False).total_ns
+        assert t_large >= t_small
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=sizes, kind=kinds, memory=memories)
+def test_teeio_between_base_and_cc(size, kind, memory):
+    base = _plan(BASE, kind, size, memory).total_ns
+    teeio = _plan(TEEIO, kind, size, memory).total_ns
+    cc = _plan(CC, kind, size, memory).total_ns
+    assert base <= teeio <= cc
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=st.integers(min_value=4096, max_value=2 * units.GiB))
+def test_base_pinned_never_slower_than_pageable(size):
+    pinned = _plan(BASE, CopyKind.H2D, size, MemoryKind.PINNED).total_ns
+    pageable = _plan(BASE, CopyKind.H2D, size, MemoryKind.PAGEABLE).total_ns
+    assert pinned <= pageable
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=sizes, kind=kinds, memory=memories)
+def test_plan_parts_consistent(size, kind, memory):
+    plan = _plan(CC, kind, size, memory)
+    assert plan.total_ns >= plan.setup_ns
+    assert plan.total_ns >= plan.dma_ns
+    assert plan.cpu_ns >= 0 and plan.hypercalls >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=sizes)
+def test_d2d_mode_independent(size):
+    base = plan_copy(BASE, GUESTS[id(BASE)], CopyKind.D2D, size, MemoryKind.DEVICE)
+    cc = plan_copy(CC, GUESTS[id(CC)], CopyKind.D2D, size, MemoryKind.DEVICE)
+    assert base.total_ns == cc.total_ns

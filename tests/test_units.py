@@ -1,0 +1,45 @@
+"""Unit tests for time/size unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions_roundtrip():
+    assert units.us(1) == 1_000
+    assert units.ms(1) == 1_000_000
+    assert units.sec(1) == 1_000_000_000
+    assert units.to_us(units.us(12.5)) == pytest.approx(12.5)
+    assert units.to_ms(units.ms(3)) == pytest.approx(3.0)
+    assert units.to_sec(units.sec(2)) == pytest.approx(2.0)
+
+
+def test_transfer_time_matches_bandwidth():
+    # 1 GB at 1 GB/s takes one second.
+    t = units.transfer_time_ns(units.GB, 1.0 * units.GB)
+    assert t == units.sec(1)
+
+
+def test_transfer_time_minimum_one_ns():
+    assert units.transfer_time_ns(1, 1e18) == 1
+
+
+def test_transfer_time_zero_bytes():
+    assert units.transfer_time_ns(0, 1e9) == 0
+
+
+def test_transfer_time_rejects_nonpositive_bandwidth():
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(100, 0)
+
+
+def test_bandwidth_computation():
+    assert units.bandwidth_gb_per_sec(units.GB, units.sec(1)) == pytest.approx(1.0)
+    assert units.bandwidth_gb_per_sec(0, 0) == 0.0
+
+
+def test_pages_rounds_up():
+    assert units.pages(0, 4096) == 0
+    assert units.pages(1, 4096) == 1
+    assert units.pages(4096, 4096) == 1
+    assert units.pages(4097, 4096) == 2

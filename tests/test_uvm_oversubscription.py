@@ -1,0 +1,117 @@
+"""Tests for UVM oversubscription / LRU eviction (DESIGN.md extension:
+the thrash regime behind the paper's most extreme Fig. 9 datapoint)."""
+
+import dataclasses
+
+import pytest
+
+from repro import units
+from repro.config import SystemConfig
+from repro.gpu import UVMManager
+from repro.sim import Simulator
+from repro.tdx import GuestContext
+
+
+def _manager(config):
+    sim = Simulator()
+    guest = GuestContext(sim, config)
+    return sim, UVMManager(sim, config, guest)
+
+
+def _with_budget(config, budget):
+    return config.replace(
+        uvm=dataclasses.replace(
+            config.uvm, oversubscription_budget_bytes=budget
+        )
+    )
+
+
+def run(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+def test_default_budget_is_full_hbm():
+    config = SystemConfig.base()
+    _, uvm = _manager(config)
+    assert uvm.budget_bytes == config.gpu.hbm_bytes
+
+
+def test_no_eviction_within_budget():
+    config = _with_budget(SystemConfig.base(), 16 * units.MiB)
+    sim, uvm = _manager(config)
+    a = uvm.register(4 * units.MiB)
+    b = uvm.register(4 * units.MiB)
+    run(sim, uvm.gpu_touch(a, 4 * units.MiB))
+    run(sim, uvm.gpu_touch(b, 4 * units.MiB))
+    assert uvm.total_evictions == 0
+    assert uvm.resident_bytes == 8 * units.MiB
+
+
+def test_eviction_triggers_beyond_budget():
+    config = _with_budget(SystemConfig.base(), 6 * units.MiB)
+    sim, uvm = _manager(config)
+    a = uvm.register(4 * units.MiB)
+    b = uvm.register(4 * units.MiB)
+    run(sim, uvm.gpu_touch(a, 4 * units.MiB))
+    run(sim, uvm.gpu_touch(b, 4 * units.MiB))
+    assert uvm.total_evictions == 1
+    assert uvm.total_evicted_bytes == 4 * units.MiB
+    # Victim (a, least recently used) must re-fault.
+    migrated, _ = run(sim, uvm.gpu_touch(a, 4 * units.MiB))
+    assert migrated == 4 * units.MiB
+
+
+def test_lru_order_picks_coldest_victim():
+    config = _with_budget(SystemConfig.base(), 9 * units.MiB)
+    sim, uvm = _manager(config)
+    a = uvm.register(4 * units.MiB)
+    b = uvm.register(4 * units.MiB)
+    c = uvm.register(4 * units.MiB)
+    run(sim, uvm.gpu_touch(a, 4 * units.MiB))
+    run(sim, uvm.gpu_touch(b, 4 * units.MiB))
+    run(sim, uvm.gpu_touch(a, 4 * units.MiB))  # refresh a
+    run(sim, uvm.gpu_touch(c, 4 * units.MiB))  # must evict b, not a
+    assert uvm.allocation(a).resident_chunks() > 0
+    assert uvm.allocation(b).resident_chunks() == 0
+
+
+def test_thrash_ping_pong():
+    """Two working sets that cannot co-reside evict each other forever."""
+    config = _with_budget(SystemConfig.base(), 5 * units.MiB)
+    sim, uvm = _manager(config)
+    a = uvm.register(4 * units.MiB)
+    b = uvm.register(4 * units.MiB)
+    for _ in range(5):
+        run(sim, uvm.gpu_touch(a, 4 * units.MiB))
+        run(sim, uvm.gpu_touch(b, 4 * units.MiB))
+    assert uvm.total_evictions == 9  # every touch after the first pair
+    assert uvm.total_migrated_bytes == 10 * 4 * units.MiB
+
+
+def test_cc_thrash_is_catastrophic():
+    """Oversubscribed encrypted paging: the paper's 1e5x regime."""
+    budget = 5 * units.MiB
+
+    def thrash_time(config):
+        sim, uvm = _manager(_with_budget(config, budget))
+        a = uvm.register(4 * units.MiB)
+        b = uvm.register(4 * units.MiB)
+        for _ in range(3):
+            run(sim, uvm.gpu_touch(a, 4 * units.MiB))
+            run(sim, uvm.gpu_touch(b, 4 * units.MiB))
+        return sim.now
+
+    base = thrash_time(SystemConfig.base())
+    cc = thrash_time(SystemConfig.confidential())
+    assert cc > 25 * base
+
+
+def test_overshoot_allowed_when_single_allocation():
+    """One allocation larger than the budget still migrates (the UVM
+    driver oversubscribes rather than failing)."""
+    config = _with_budget(SystemConfig.base(), 2 * units.MiB)
+    sim, uvm = _manager(config)
+    a = uvm.register(8 * units.MiB)
+    migrated, _ = run(sim, uvm.gpu_touch(a, 8 * units.MiB))
+    assert migrated == 8 * units.MiB
+    assert uvm.total_evictions == 0
