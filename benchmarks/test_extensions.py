@@ -105,3 +105,24 @@ def test_ext_attestation(figure_runner):
     assert rows["cc"][2] > rows["base"][2]
     # Attestation dominates time-to-first-kernel at CC bring-up.
     assert rows["cc"][2] * 1000 > rows["cc"][3]
+
+
+def test_ext_fault_recovery(figure_runner):
+    result = figure_runner(extensions.generate_fault_recovery)
+    checks = {c["metric"]: c["measured"] for c in result.comparisons}
+    # Zero-overhead guarantee: an empty plan changes nothing at all.
+    assert checks["rate-0 span / no-plan span (zero-overhead guarantee)"] == 1.0
+    rows = {row[0]: row for row in result.rows}
+    assert rows[0.0][1] == 0 and rows[0.0][3] == 0  # no injections, no recovery
+    # Injected faults and recovery time are monotone in the rate, and at
+    # the top rate recovery is a visible share of the run.
+    rates = sorted(rows)
+    injected = [rows[r][1] for r in rates]
+    recovery = [rows[r][3] for r in rates]
+    assert all(b >= a for a, b in zip(injected, injected[1:]))
+    assert all(b >= a for a, b in zip(recovery, recovery[1:]))
+    assert rows[rates[-1]][4] > 1.0  # recovery_pct at the top rate
+    # Transparent recovery: the end-to-end span grows with the rate but
+    # every run still completes (no fatal faults surfaced).
+    spans = [rows[r][5] for r in rates]
+    assert all(b >= a for a, b in zip(spans, spans[1:]))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fault injection and recovery demo.
+
+Runs the same workload three times — fault-free, under a transient
+fault plan (recovered transparently: same result, more time), and
+under a persistent fault (surfaced as a typed FatalCudaFault with all
+resources released) — and prints the per-site recovery ledger.
+
+Usage:
+    python examples/fault_injection_demo.py
+"""
+
+import os
+
+from repro import SystemConfig, units
+from repro.cuda import FatalCudaFault, Machine
+from repro.faults import GCM_TAG, FaultPlan, SiteFaults
+from repro.workloads import CATALOG
+
+PLAN_PATH = os.path.join(os.path.dirname(__file__), "fault_plan.json")
+
+
+def run(label: str, config: SystemConfig) -> Machine:
+    machine = Machine(config, label=label)
+    machine.run(CATALOG["srad"].app(False))
+    return machine
+
+
+def main() -> None:
+    # 1. Fault-free baseline.
+    clean = run("clean", SystemConfig.confidential())
+    print(f"fault-free: span {units.to_ms(clean.trace.span_ns()):.3f} ms")
+
+    # 2. Transient faults from the example plan: recovered in-stack.
+    plan = FaultPlan.load(PLAN_PATH)
+    faulted = run("faulted", SystemConfig.confidential().replace(faults=plan))
+    ledger = faulted.guest.faults
+    print(f"under plan: span {units.to_ms(faulted.trace.span_ns()):.3f} ms, "
+          f"{ledger.total_injected} faults injected, recovery "
+          f"{units.to_ms(faulted.trace.recovery_ns()):.3f} ms")
+    for site, visits, injected, retried, fatal, rec_ns in ledger.report_rows():
+        print(f"  {site:<18} visits {visits:>4}  injected {injected:>3}  "
+              f"retried {retried:>3}  recovery {units.to_ms(rec_ns):8.3f} ms")
+
+    # 3. A persistent fault exhausts the retry budget and is fatal —
+    #    but typed, diagnosable, and leak-free.
+    persistent = SystemConfig.confidential().replace(
+        faults=FaultPlan.from_mapping(
+            {GCM_TAG: SiteFaults(schedule=tuple(range(8)))}
+        )
+    )
+    machine = Machine(persistent, label="persistent")
+    try:
+        machine.run(CATALOG["srad"].app(False))
+    except FatalCudaFault as exc:
+        print(f"persistent fault: {type(exc).__name__}: {exc}")
+        print(f"  bounce pool in use after failure: "
+              f"{machine.guest.bounce.used_bytes} bytes (must be 0)")
+        assert machine.guest.bounce.used_bytes == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,8 @@ Commands
 --------
 apps
     List the workload catalogue.
-run APP [--cc] [--uvm] [--teeio] [--trace OUT.json]
+run APP [--cc] [--uvm] [--teeio] [--seed N] [--fault-plan P.json]
+        [--fault-rate R] [--trace OUT.json]
     Run one app and print its metric/model dissection.
 figures [ID ...] [--out DIR]
     Regenerate paper figures (default: the fast ones) into DIR.
@@ -14,6 +15,8 @@ observations [N ...]
     Evaluate the paper's numbered observations.
 attest [--cc]
     Run the SPDM GPU attestation flow and report its cost.
+faults APP [--cc] [--uvm] [--fault-plan P.json | --fault-rate R]
+    Run one app under a fault plan and print the per-site report.
 """
 
 from __future__ import annotations
@@ -26,7 +29,10 @@ from typing import List, Optional
 from . import units
 from .config import SystemConfig
 from .core import decompose, kernel_metrics, kernel_to_launch_ratio, launch_metrics
-from .cuda import run_app
+from .cuda import CudaError, Machine, run_app
+from .faults import FaultError, FaultPlan
+from .mem.allocator import OutOfMemoryError
+from .sim import SimulationError
 from .workloads import CATALOG
 
 
@@ -36,6 +42,25 @@ def _config(args) -> SystemConfig:
         config = config.replace(
             tdx=dataclasses.replace(config.tdx, teeio=True)
         )
+    seed = getattr(args, "seed", None)
+    if seed is not None:
+        config = config.replace(seed=seed)
+    plan_path = getattr(args, "fault_plan", "")
+    rate = getattr(args, "fault_rate", None)
+    if plan_path and rate is not None:
+        raise SystemExit("--fault-plan and --fault-rate are mutually exclusive")
+    if plan_path:
+        try:
+            config = config.replace(faults=FaultPlan.load(plan_path))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--fault-plan: {exc}")
+    elif rate is not None:
+        plan = FaultPlan.uniform(rate)
+        try:
+            plan.validate()
+        except ValueError as exc:
+            raise SystemExit(f"--fault-rate: {exc}")
+        config = config.replace(faults=plan)
     return config
 
 
@@ -51,7 +76,9 @@ def cmd_apps(_args) -> int:
 def cmd_run(args) -> int:
     info = CATALOG[args.app]
     config = _config(args)
-    trace, _ = run_app(info.app(args.uvm), config, label=args.app)
+    machine = Machine(config, label=args.app)
+    machine.run(info.app(args.uvm))
+    trace = machine.trace
     launches = launch_metrics(trace)
     kernels = kernel_metrics(trace)
     mode = "cc" if args.cc else "base"
@@ -66,6 +93,10 @@ def cmd_run(args) -> int:
           f"KET mean {units.to_us(kernels.ket_stats().mean):.2f} us  "
           f"KQT mean {units.to_us(kernels.kqt_stats().mean):.2f} us")
     print(f"  KLR {kernel_to_launch_ratio(trace):.2f}")
+    if config.faults.active:
+        ledger = machine.guest.faults
+        print(f"  faults   injected {ledger.total_injected}  "
+              f"recovery {units.to_ms(trace.recovery_ns()):.3f} ms")
     print(decompose(trace).summary())
     if args.trace:
         with open(args.trace, "w") as handle:
@@ -100,7 +131,8 @@ _SLOW_FIGURES = {
 }
 _EXTENSIONS = ("teeio", "crypto_scaling", "graph_fusion_cc",
                "oversubscription", "attestation", "multigpu",
-               "model_load", "sensitivity", "distributed_training")
+               "model_load", "sensitivity", "distributed_training",
+               "fault_recovery")
 
 
 def _figures_module():
@@ -267,6 +299,41 @@ def cmd_attest(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Run one app under a fault plan and print the per-site report."""
+    info = CATALOG[args.app]
+    if not args.fault_plan and args.fault_rate is None:
+        args.fault_rate = 0.01  # a visible default for the report
+    config = _config(args)
+    machine = Machine(config, label=args.app)
+    machine.run(info.app(args.uvm))
+    trace, ledger = machine.trace, machine.guest.faults
+    span = trace.span_ns()
+    mode = "cc" if args.cc else "base"
+    print(f"fault report: {args.app} [{mode}{' uvm' if args.uvm else ''}] "
+          f"seed={config.seed}")
+    print(f"  {'site':<18}{'visits':>8}{'injected':>10}{'retried':>9}"
+          f"{'fatal':>7}{'recovery_ms':>13}")
+    for site, visits, injected, retried, fatal, rec_ns in ledger.report_rows():
+        print(f"  {site:<18}{visits:>8}{injected:>10}{retried:>9}{fatal:>7}"
+              f"{units.to_ms(rec_ns):>13.3f}")
+    recovery = trace.recovery_ns()
+    share = 100.0 * recovery / span if span else 0.0
+    print(f"  injected {ledger.total_injected} total; recovery "
+          f"{units.to_ms(recovery):.3f} ms = {share:.2f}% of "
+          f"{units.to_ms(span):.3f} ms span")
+    return 0
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override SystemConfig.seed")
+    parser.add_argument("--fault-plan", default="", metavar="PLAN.json",
+                        help="JSON fault plan (see examples/fault_plan.json)")
+    parser.add_argument("--fault-rate", type=float, default=None, metavar="R",
+                        help="uniform per-occurrence fault rate at all sites")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -283,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--teeio", action="store_true",
                        help="enable the TEE-IO what-if (with --cc)")
     run_p.add_argument("--trace", default="", help="chrome-trace output path")
+    _add_fault_args(run_p)
 
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument("ids", nargs="*",
@@ -297,6 +365,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     att_p = sub.add_parser("attest", help="run SPDM GPU attestation")
     att_p.add_argument("--cc", action="store_true")
+
+    faults_p = sub.add_parser(
+        "faults", help="run an app under a fault plan and report recovery"
+    )
+    faults_p.add_argument("app", choices=sorted(CATALOG))
+    faults_p.add_argument("--cc", action="store_true")
+    faults_p.add_argument("--uvm", action="store_true")
+    _add_fault_args(faults_p)
 
     rep_p = sub.add_parser(
         "report", help="aggregate paper-vs-measured from results/"
@@ -328,6 +404,7 @@ _COMMANDS = {
     "bandwidth": cmd_bandwidth,
     "observations": cmd_observations,
     "attest": cmd_attest,
+    "faults": cmd_faults,
     "report": cmd_report,
     "analyze": cmd_analyze,
     "whatif": cmd_whatif,
@@ -336,7 +413,13 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OutOfMemoryError, CudaError, FaultError, SimulationError) as exc:
+        # One-line diagnostic, nonzero exit — no traceback spam for
+        # well-understood runtime failures.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,8 @@ from typing import Optional
 
 from . import units
 from .crypto import throughput as crypto_throughput
+from .faults.plan import FaultModelSpec, FaultPlan
+from .faults.retry import RetryPolicy
 
 
 class CCMode(Enum):
@@ -300,6 +302,11 @@ class SystemConfig:
     vm_memory_bytes: int = 64 * units.GiB
     vm_cores: int = 16
     seed: int = 20250706
+    # Fault injection and recovery (repro.faults).  The default plan is
+    # empty: no injection, no RNG draws, bit-identical traces.
+    faults: FaultPlan = field(default_factory=FaultPlan.none)
+    fault_model: FaultModelSpec = field(default_factory=FaultModelSpec)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     @property
     def cc_on(self) -> bool:
@@ -350,6 +357,11 @@ class SystemConfig:
             problems.append("teeio_link_efficiency must be in (0, 1]")
         if self.vm_memory_bytes <= 0 or self.gpu.hbm_bytes <= 0:
             problems.append("memory capacities must be positive")
+        for sub in (self.faults, self.fault_model, self.retry):
+            try:
+                sub.validate()
+            except ValueError as exc:
+                problems.append(str(exc))
         if problems:
             raise ValueError("invalid SystemConfig: " + "; ".join(problems))
 

@@ -24,6 +24,7 @@ CATEGORIES = (
     "launch_queue",  # LQT
     "mgmt",  # alloc + free
     "sync",  # exposed synchronization
+    "recovery",  # fault recovery (wasted attempts, backoff, re-attest)
     "idle",  # everything else inside the span
 )
 
@@ -72,6 +73,8 @@ def breakdown(trace: Trace) -> Breakdown:
             raw["mgmt"].append((event.start_ns, event.end_ns))
         elif event.kind is EventKind.SYNC:
             raw["sync"].append((event.start_ns, event.end_ns))
+        elif event.kind is EventKind.RECOVERY:
+            raw["recovery"].append((event.start_ns, event.end_ns))
 
     claimed: List[Tuple[int, int]] = []
     result: Dict[str, int] = {}

@@ -41,8 +41,9 @@ class ModelDecomposition:
     part_c_raw_ns: int  # sum(KET + KQT), before beta discount
     part_c_ns: int  # sum((1 - beta_i) (KET_i + KQT_i))
     betas: List[float]
-    t_other_ns: int  # alloc + free + non-overlapped sync
+    t_other_ns: int  # alloc + free + non-overlapped sync + recovery
     span_ns: int  # observed wall-clock span of the trace
+    t_recovery_ns: int = 0  # fault-recovery time (union; subset of D)
 
     @property
     def part_a_ns(self) -> int:
@@ -72,6 +73,8 @@ class ModelDecomposition:
             ("P predicted", self.predicted_ns),
             ("P observed", self.span_ns),
         ]
+        if self.t_recovery_ns:
+            rows.insert(4, ("  of D: recovery", self.t_recovery_ns))
         lines = [
             f"  {label:<26}{units.to_ms(value):12.3f} ms" for label, value in rows
         ]
@@ -107,6 +110,9 @@ def decompose(trace: Trace) -> ModelDecomposition:
         for e in trace.of_kind(EventKind.ALLOC) + trace.of_kind(EventKind.FREE)
     ]
     sync_iv = [(e.start_ns, e.end_ns) for e in trace.of_kind(EventKind.SYNC)]
+    recovery_iv = [
+        (e.start_ns, e.end_ns) for e in trace.of_kind(EventKind.RECOVERY)
+    ]
 
     # --- part A: memory time and its hidden fraction alpha -------------
     t_mem = intervals.union_length(mem_iv)
@@ -140,7 +146,14 @@ def decompose(trace: Trace) -> ModelDecomposition:
     sync_exposed = intervals.total_length(
         intervals.subtract(sync_iv, kernel_iv + launch_iv + mem_iv)
     )
-    t_other = mgmt_total + sync_exposed
+    # Fault-recovery time not hidden under real work also lands in D —
+    # empty under an inactive fault plan, so nothing changes there.
+    recovery_exposed = intervals.total_length(
+        intervals.subtract(
+            recovery_iv, kernel_iv + launch_iv + mem_iv + mgmt_iv + sync_iv
+        )
+    )
+    t_other = mgmt_total + sync_exposed + recovery_exposed
 
     return ModelDecomposition(
         t_mem_ns=t_mem,
@@ -151,4 +164,5 @@ def decompose(trace: Trace) -> ModelDecomposition:
         betas=betas,
         t_other_ns=t_other,
         span_ns=trace.span_ns(),
+        t_recovery_ns=intervals.union_length(recovery_iv),
     )

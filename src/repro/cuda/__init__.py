@@ -2,7 +2,7 @@
 
 from .machine import Machine, run_app, run_base_and_cc
 from .memory import Buffer, DeviceBuffer, HostBuffer, ManagedBuffer
-from .runtime import CudaError, CudaGraph, CudaRuntime, Stream
+from .runtime import CudaError, CudaGraph, CudaRuntime, FatalCudaFault, Stream
 from .transfers import TransferPlan, achieved_bandwidth_gbps, plan_copy
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "CudaGraph",
     "CudaRuntime",
     "DeviceBuffer",
+    "FatalCudaFault",
     "HostBuffer",
     "Machine",
     "ManagedBuffer",

@@ -27,7 +27,7 @@ class Machine:
         self.config.validate()
         self.sim = Simulator()
         self.trace = Trace(label=label)
-        self.guest = GuestContext(self.sim, self.config)
+        self.guest = GuestContext(self.sim, self.config, trace=self.trace)
         self.gpu = GPU(self.sim, self.config, self.guest, self.trace)
         self.runtime = CudaRuntime(
             self.sim, self.config, self.guest, self.gpu, self.trace

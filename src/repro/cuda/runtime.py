@@ -23,8 +23,17 @@ from typing import Generator, List, Optional, Sequence, Tuple
 from .. import units
 from ..config import CopyKind, MemoryKind, SystemConfig
 from ..crypto import AESGCM
+from ..faults import (
+    BOUNCE_POOL,
+    DMA,
+    GCM_TAG,
+    FatalFault,
+    GcmTagFault,
+    TransientFault,
+)
 from ..gpu import GPU, KernelCommand, KernelSpec
 from ..gpu.device import CopyCommand
+from ..mem.allocator import OutOfMemoryError
 from ..profiler import (
     Trace,
     alloc_event,
@@ -43,13 +52,30 @@ class CudaError(RuntimeError):
     """Runtime misuse (double free, bad copy direction...)."""
 
 
+class FatalCudaFault(CudaError, FatalFault):
+    """A copy fault that exhausted its retry budget.
+
+    Inherits both :class:`CudaError` (the runtime's error surface) and
+    :class:`~repro.faults.FatalFault` (the fault taxonomy), so callers
+    may catch either.
+    """
+
+    def __init__(self, site: str, attempts: int, last_fault=None) -> None:
+        FatalFault.__init__(self, site, attempts, last_fault)
+
+
 class Stream:
-    """An in-order work queue; tail is the last submitted op's event."""
+    """An in-order work queue; tail is the last submitted op's event.
 
-    _ids = itertools.count(0)
+    Stream ids are assigned per runtime (not from a process-global
+    counter) so two identically-configured machines in one process
+    produce byte-identical traces.
+    """
 
-    def __init__(self) -> None:
-        self.id = next(Stream._ids)
+    _ids = itertools.count(0)  # fallback for streams built standalone
+
+    def __init__(self, stream_id: Optional[int] = None) -> None:
+        self.id = next(Stream._ids) if stream_id is None else stream_id
         self.tail: Optional[Event] = None
 
 
@@ -82,7 +108,8 @@ class CudaRuntime:
         self.guest = guest
         self.gpu = gpu
         self.trace = trace
-        self.default_stream = Stream()
+        self._stream_ids = itertools.count(0)
+        self.default_stream = Stream(next(self._stream_ids))
         self._streams: List[Stream] = [self.default_stream]
         self._seen_kernels: set = set()
         self._hypercall_accum = 0.0
@@ -184,6 +211,23 @@ class CudaRuntime:
         self.trace.add(free_event(api, start, duration, buffer.size))
         return None
 
+    def reclaim(self, buffer: Buffer) -> None:
+        """Untimed emergency release after a failed run.
+
+        Used by error paths (fatal fault cleanup) where the simulation
+        may no longer be drivable; releases the backing store without
+        consuming simulated time or emitting trace events.  Idempotent.
+        """
+        if buffer.freed:
+            return
+        if isinstance(buffer, DeviceBuffer):
+            self.gpu.hbm.free(buffer.address)
+        else:
+            self.guest.memory.free(buffer.address)
+            if isinstance(buffer, ManagedBuffer):
+                self.gpu.uvm.unregister(buffer.uvm_handle)
+        buffer.freed = True
+
     # ------------------------------------------------------------------
     # Memory copies (Fig. 4a / Fig. 5)
     # ------------------------------------------------------------------
@@ -210,14 +254,32 @@ class CudaRuntime:
         if self.config.cc_on and (
             isinstance(dst, DeviceBuffer) or isinstance(src, DeviceBuffer)
         ):
-            iv = next(self._iv_counter).to_bytes(12, "big")
-            ciphertext, tag = self._gcm.encrypt(iv, data)
-            slot = self.guest.bounce.alloc(max(len(ciphertext), 1))
-            self.guest.bounce.stage(slot, ciphertext)
-            # Far side decrypts; verify integrity as the hardware would.
-            data = self._gcm.decrypt(iv, self.guest.bounce.peek(slot), tag)
-            self.guest.bounce.free(slot)
+            try:
+                data = self._stage_through_bounce(data)
+            except OutOfMemoryError:
+                # Pool exhausted: degrade to chunked staging so the copy
+                # still completes with a bounded footprint.
+                chunk = self.config.fault_model.bounce_degraded_chunk_bytes
+                pieces = []
+                for offset in range(0, max(len(data), 1), chunk):
+                    pieces.append(
+                        self._stage_through_bounce(data[offset:offset + chunk])
+                    )
+                data = b"".join(pieces)
         dst.payload = data
+
+    def _stage_through_bounce(self, data: bytes) -> bytes:
+        """Encrypt into a bounce slot and decrypt on the far side,
+        verifying integrity as the hardware would.  The slot is freed on
+        every path — including a failed tag verification."""
+        iv = next(self._iv_counter).to_bytes(12, "big")
+        ciphertext, tag = self._gcm.encrypt(iv, data)
+        slot = self.guest.bounce.alloc(max(len(ciphertext), 1))
+        try:
+            self.guest.bounce.stage(slot, ciphertext)
+            return self._gcm.decrypt(iv, self.guest.bounce.peek(slot), tag)
+        finally:
+            self.guest.bounce.free(slot)
 
     @staticmethod
     def _take_warmth(dst: Buffer, src: Buffer, copy_kind: CopyKind) -> bool:
@@ -256,24 +318,87 @@ class CudaRuntime:
         engine = self.gpu.copy_engine(copy_kind).request()
         yield engine
         try:
-            start = self.sim.now
-            yield self.sim.timeout(plan.total_ns)
+            yield from self._copy_with_recovery(
+                copy_kind, plan, size, memory, self.default_stream.id
+            )
             self.guest.hypercall_count += plan.hypercalls
             self._functional_transfer(dst, src, size)
-            self.trace.add(
-                memcpy_event(
-                    copy_kind,
-                    start,
-                    self.sim.now - start,
-                    size,
-                    memory,
-                    stream=self.default_stream.id,
-                    managed=plan.managed_label,
-                )
-            )
         finally:
             self.gpu.copy_engine(copy_kind).release(engine)
         return plan
+
+    def _copy_with_recovery(
+        self,
+        copy_kind: CopyKind,
+        plan: TransferPlan,
+        size: int,
+        memory: MemoryKind,
+        stream_id: int,
+    ) -> Generator:
+        """Run one staged copy under the fault plan.
+
+        Failed attempts (injected AES-GCM tag mismatches or transient
+        DMA errors) waste simulated time and are booked as RECOVERY
+        events; the successful attempt emits the ordinary memcpy event,
+        so a fault-free run's trace is byte-identical to one produced
+        without the fault layer.  Retry exhaustion raises
+        :class:`FatalCudaFault` (the engine is released by the caller).
+        """
+        guest = self.guest
+        model = self.config.fault_model
+        retry = self.config.retry
+        degraded = False
+        if self.config.cc_on:
+            # Bounce-pool exhaustion does not kill the copy; it degrades
+            # staging to small chunks (extra map hypercalls, paid below).
+            degraded = guest.faults.draw(BOUNCE_POOL) is not None
+        attempt = 1
+        while True:
+            fault: Optional[TransientFault] = None
+            if self.config.cc_on:
+                fault = guest.faults.draw(GCM_TAG)
+            if fault is None:
+                fault = guest.faults.draw(DMA)
+            if fault is None:
+                break
+            start = self.sim.now
+            if isinstance(fault, GcmTagFault):
+                # Tag verification happens at end of message: the whole
+                # re-staged fraction of the copy is wasted.
+                wasted = int(plan.total_ns * model.gcm_refetch_fraction)
+            else:
+                wasted = (
+                    int(plan.total_ns * model.dma_error_detect_fraction)
+                    + model.dma_retrain_ns
+                )
+            yield self.sim.timeout(wasted)
+            if attempt >= retry.max_attempts:
+                guest.record_recovery(fault.site, start, attempt, "fatal", fatal=True)
+                raise FatalCudaFault(fault.site, attempt, fault)
+            yield self.sim.timeout(retry.backoff_ns(attempt))
+            guest.record_recovery(fault.site, start, attempt)
+            attempt += 1
+        start = self.sim.now
+        yield self.sim.timeout(plan.total_ns)
+        self.trace.add(
+            memcpy_event(
+                copy_kind,
+                start,
+                self.sim.now - start,
+                size,
+                memory,
+                stream=stream_id,
+                managed=plan.managed_label,
+            )
+        )
+        if degraded:
+            degraded_start = self.sim.now
+            chunks = units.pages(size, model.bounce_degraded_chunk_bytes)
+            # Each extra degraded chunk needs its own swiotlb map.
+            extra = max(0, chunks - 1) * self.config.hypercall_ns()
+            if extra:
+                yield self.sim.timeout(extra)
+            guest.record_recovery(BOUNCE_POOL, degraded_start, 1, "degraded")
 
     def memcpy_async(
         self,
@@ -353,25 +478,32 @@ class CudaRuntime:
         # Launch-queue credit (backpressure when the queue is full).
         credit = self.gpu.launch_credits.request()
         yield credit
-        start = self.sim.now
-        lqt = (
-            max(0, start - self._last_launch_end)
-            if self._last_launch_end is not None
-            else 0
-        )
-        first = kernel.name not in self._seen_kernels
-        with self.guest.stacks.frame("cudaLaunchKernel"):
-            with self.guest.stacks.frame("libcuda.so::cuLaunchKernel"):
-                if first:
-                    self._seen_kernels.add(kernel.name)
-                    yield from self._first_launch_setup(kernel)
-                base = self.guest.jitter(
-                    launch_cfg.klo_base_ns, launch_cfg.jitter_sigma
-                )
-                with self.guest.stacks.frame("nvidia.ko::rm_ioctl"):
-                    yield from self.guest.cpu_work(base)
-                    if self.config.cc_on:
-                        yield from self._cc_launch_extra()
+        try:
+            start = self.sim.now
+            lqt = (
+                max(0, start - self._last_launch_end)
+                if self._last_launch_end is not None
+                else 0
+            )
+            first = kernel.name not in self._seen_kernels
+            with self.guest.stacks.frame("cudaLaunchKernel"):
+                with self.guest.stacks.frame("libcuda.so::cuLaunchKernel"):
+                    if first:
+                        self._seen_kernels.add(kernel.name)
+                        yield from self._first_launch_setup(kernel)
+                    base = self.guest.jitter(
+                        launch_cfg.klo_base_ns, launch_cfg.jitter_sigma
+                    )
+                    with self.guest.stacks.frame("nvidia.ko::rm_ioctl"):
+                        yield from self.guest.cpu_work(base)
+                        if self.config.cc_on:
+                            yield from self._cc_launch_extra()
+        except BaseException:
+            # Driver-side failure (e.g. a fatal hypercall fault) before
+            # the command reached the GPU: the queue credit must not
+            # leak, or later launches deadlock on backpressure.
+            self.gpu.launch_credits.release(credit)
+            raise
         end = self.sim.now
         self._last_launch_end = end
         self.trace.add(
@@ -438,7 +570,7 @@ class CudaRuntime:
     # ------------------------------------------------------------------
 
     def create_stream(self) -> Stream:
-        stream = Stream()
+        stream = Stream(next(self._stream_ids))
         self._streams.append(stream)
         return stream
 

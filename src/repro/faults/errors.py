@@ -1,0 +1,81 @@
+"""Error taxonomy of the fault-injection and recovery layer.
+
+Two tiers, mirroring how a production confidential stack reacts:
+
+* :class:`TransientFault` — recoverable by the runtime (re-transfer on
+  an AES-GCM tag mismatch, retry a timed-out hypercall, re-attest
+  after an SPDM failure).  Applications never see these unless the
+  retry budget is exhausted.
+* :class:`FatalFault` — a transient fault that survived every retry
+  (or a genuinely unrecoverable condition).  Surfaces to application
+  code as a typed exception; the runtime guarantees all simulator
+  resources (bounce slots, engines, launch credits) are released
+  before it propagates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected-fault exception."""
+
+
+class TransientFault(FaultError):
+    """A recoverable fault injected at a named site.
+
+    ``site`` is the injection-site name (see :mod:`repro.faults.plan`)
+    and ``occurrence`` the zero-based index of the site visit that
+    failed — together they identify the injection deterministically.
+    """
+
+    def __init__(self, site: str, occurrence: int, detail: str = "") -> None:
+        message = f"transient fault at {site} (occurrence {occurrence})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.site = site
+        self.occurrence = occurrence
+
+
+class GcmTagFault(TransientFault):
+    """AES-GCM authentication-tag verification failed on a staged copy."""
+
+
+class DmaFault(TransientFault):
+    """Transient DMA/PCIe error (link retrain, aborted transaction)."""
+
+
+class HypercallTimeoutFault(TransientFault):
+    """A hypercall/seamcall round trip timed out."""
+
+
+class BounceExhaustedFault(TransientFault):
+    """The swiotlb bounce-buffer pool could not satisfy a staging
+    request; the runtime degrades to chunked staging."""
+
+
+class AttestationFault(TransientFault):
+    """SPDM message corruption detected during GPU attestation."""
+
+
+class FatalFault(FaultError):
+    """A fault that exhausted its retry budget.
+
+    Carries the final :class:`TransientFault` as ``__cause__`` (and
+    ``last_fault``) so callers can inspect the originating site.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        attempts: int,
+        last_fault: Optional[TransientFault] = None,
+    ) -> None:
+        super().__init__(
+            f"fault at {site} not recovered after {attempts} attempt(s)"
+        )
+        self.site = site
+        self.attempts = attempts
+        self.last_fault = last_fault

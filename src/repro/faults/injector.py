@@ -1,0 +1,154 @@
+"""Seeded, deterministic fault injector.
+
+One :class:`FaultInjector` lives on each :class:`~repro.tdx.GuestContext`
+and is consulted at every named injection site.  Determinism rules:
+
+* Each site draws from its **own** RNG substream, seeded by
+  ``(SystemConfig.seed, crc32(site))`` — so adding draws at one site
+  never perturbs another, and two runs with the same config produce
+  byte-identical fault schedules regardless of call interleaving.
+* The injector never touches the guest's jitter RNG, and when a site
+  has no active spec it performs **no draw at all** — an empty plan is
+  exactly a no-op (the zero-overhead guarantee).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from .errors import (
+    AttestationFault,
+    BounceExhaustedFault,
+    DmaFault,
+    GcmTagFault,
+    HypercallTimeoutFault,
+    TransientFault,
+)
+from .plan import ALL_SITES, BOUNCE_POOL, DMA, GCM_TAG, HYPERCALL, SPDM, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Simulator
+
+_FAULT_CLASSES = {
+    GCM_TAG: GcmTagFault,
+    DMA: DmaFault,
+    HYPERCALL: HypercallTimeoutFault,
+    BOUNCE_POOL: BounceExhaustedFault,
+    SPDM: AttestationFault,
+}
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, for post-run reporting."""
+
+    site: str
+    occurrence: int
+    time_ns: int
+
+
+class FaultInjector:
+    """Per-guest deterministic fault source and recovery ledger."""
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.plan = plan if plan is not None else FaultPlan.none()
+        self.seed = seed
+        self.sim = sim
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self.occurrences: Dict[str, int] = {}
+        self.injected: Dict[str, int] = {}
+        self.retries: Dict[str, int] = {}
+        self.recovery_ns: Dict[str, int] = {}
+        self.fatal: Dict[str, int] = {}
+        self.records: List[FaultRecord] = []
+
+    # -- drawing ---------------------------------------------------------
+
+    def _rng(self, site: str) -> np.random.Generator:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = np.random.default_rng([self.seed, zlib.crc32(site.encode())])
+            self._rngs[site] = rng
+        return rng
+
+    def draw(self, site: str) -> Optional[TransientFault]:
+        """Consult the plan for one site visit; returns a fault or None.
+
+        Counts the occurrence and draws from the site's RNG substream
+        only when the site has an active spec — an inactive site costs
+        nothing and leaves every RNG untouched.
+        """
+        spec = self.plan.spec_for(site)
+        if spec is None or not spec.active:
+            return None
+        occurrence = self.occurrences.get(site, 0)
+        self.occurrences[site] = occurrence + 1
+        if (
+            spec.max_faults is not None
+            and self.injected.get(site, 0) >= spec.max_faults
+        ):
+            return None
+        fire = occurrence in spec.schedule
+        if not fire and spec.rate > 0.0:
+            fire = float(self._rng(site).random()) < spec.rate
+        if not fire:
+            return None
+        self.injected[site] = self.injected.get(site, 0) + 1
+        self.records.append(
+            FaultRecord(
+                site=site,
+                occurrence=occurrence,
+                time_ns=self.sim.now if self.sim is not None else 0,
+            )
+        )
+        return _FAULT_CLASSES.get(site, TransientFault)(site, occurrence)
+
+    # -- ledger ----------------------------------------------------------
+
+    def note_recovery(self, site: str, duration_ns: int, fatal: bool = False) -> None:
+        self.recovery_ns[site] = self.recovery_ns.get(site, 0) + duration_ns
+        if fatal:
+            self.fatal[site] = self.fatal.get(site, 0) + 1
+        else:
+            self.retries[site] = self.retries.get(site, 0) + 1
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_recovery_ns(self) -> int:
+        return sum(self.recovery_ns.values())
+
+    def injected_at(self, site: str) -> int:
+        return self.injected.get(site, 0)
+
+    def report_rows(self) -> List[tuple]:
+        """(site, occurrences, injected, retries, fatal, recovery_ns) rows."""
+        rows = []
+        for site in ALL_SITES:
+            if (
+                self.occurrences.get(site, 0) == 0
+                and self.injected.get(site, 0) == 0
+            ):
+                continue
+            rows.append(
+                (
+                    site,
+                    self.occurrences.get(site, 0),
+                    self.injected.get(site, 0),
+                    self.retries.get(site, 0),
+                    self.fatal.get(site, 0),
+                    self.recovery_ns.get(site, 0),
+                )
+            )
+        return rows

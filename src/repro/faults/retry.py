@@ -1,0 +1,41 @@
+"""Retry policy: how the runtime reacts to transient faults.
+
+One policy governs every recovery loop in the stack (hypercall
+reissue, copy re-staging, SPDM re-attestation): up to ``max_attempts``
+tries with exponential backoff *in simulated time*, so recovery cost
+is attributed on the timeline like any other activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff, in simulated nanoseconds."""
+
+    max_attempts: int = 4
+    backoff_base_ns: int = units.us(50.0)
+    backoff_factor: float = 2.0
+    backoff_cap_ns: int = units.ms(2.0)
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        raw = self.backoff_base_ns * (self.backoff_factor ** (attempt - 1))
+        return int(min(raw, self.backoff_cap_ns))
+
+    def validate(self) -> None:
+        problems = []
+        if self.max_attempts < 1:
+            problems.append("max_attempts must be >= 1")
+        if self.backoff_base_ns < 0 or self.backoff_cap_ns < 0:
+            problems.append("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            problems.append("backoff_factor must be >= 1")
+        if problems:
+            raise ValueError("invalid RetryPolicy: " + "; ".join(problems))

@@ -28,11 +28,16 @@ def generate(app_name: str = DEFAULT_APP) -> FigureResult:
         result = breakdown(trace)
         spans[label] = result.span_ns
         for category in CATEGORIES:
+            category_ns = result.by_category_ns.get(category, 0)
+            if category == "recovery" and category_ns == 0:
+                # Only present under an active fault plan; omitting the
+                # zero row keeps fault-free outputs bit-identical.
+                continue
             rows.append(
                 (
                     label,
                     category,
-                    units.to_ms(result.by_category_ns.get(category, 0)),
+                    units.to_ms(category_ns),
                     100.0 * result.share(category),
                 )
             )

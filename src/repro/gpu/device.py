@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Generator, List, Optional, Tuple
 
 from ..config import CopyKind, MemoryKind, SystemConfig
+from ..faults import DMA, FatalFault, FaultError
 from ..mem import ExtentAllocator
 from ..profiler import Trace, kernel_event, memcpy_event
 from ..sim import Event, Resource, Simulator, Store
@@ -122,7 +123,15 @@ class GPU:
 
     def _run_kernel(self, command: KernelCommand) -> Generator:
         if command.predecessor is not None and not command.predecessor.processed:
-            yield command.predecessor
+            try:
+                yield command.predecessor
+            except FaultError as exc:
+                # Stream-ordered predecessor died: propagate the failure
+                # down the stream without leaking the launch credit.
+                if command.credit is not None:
+                    self.launch_credits.release(command.credit)
+                command.done.fail(exc)
+                return
         slot = self.compute.request()
         yield slot
         try:
@@ -158,10 +167,15 @@ class GPU:
 
     def _run_copy(self, command: CopyCommand) -> Generator:
         if command.predecessor is not None and not command.predecessor.processed:
-            yield command.predecessor
+            try:
+                yield command.predecessor
+            except FaultError as exc:
+                command.done.fail(exc)
+                return
         engine = self._copy_engines[command.copy_kind].request()
         yield engine
         try:
+            yield from self._dma_with_retry(command)
             start = self.sim.now
             yield self.sim.timeout(command.gpu_time_ns)
             self.trace.add(
@@ -175,6 +189,38 @@ class GPU:
                     managed=command.managed_label,
                 )
             )
+        except FatalFault as exc:
+            # Surface the failure to whoever synchronizes on the stream;
+            # the engine slot is released by the finally below.
+            command.done.fail(exc)
+            return
         finally:
             self._copy_engines[command.copy_kind].release(engine)
         command.done.succeed()
+
+    def _dma_with_retry(self, command: CopyCommand) -> Generator:
+        """Consult the DMA fault site for an engine-resident transfer.
+
+        Each injected transient error wastes the detected fraction of
+        the transfer plus a link retrain, booked as RECOVERY time; retry
+        exhaustion raises :class:`FatalFault`.
+        """
+        model = self.config.fault_model
+        retry = self.config.retry
+        attempt = 1
+        while True:
+            fault = self.guest.faults.draw(DMA)
+            if fault is None:
+                return
+            start = self.sim.now
+            wasted = (
+                int(command.gpu_time_ns * model.dma_error_detect_fraction)
+                + model.dma_retrain_ns
+            )
+            yield self.sim.timeout(wasted)
+            if attempt >= retry.max_attempts:
+                self.guest.record_recovery(DMA, start, attempt, "fatal", fatal=True)
+                raise FatalFault(DMA, attempt, fault)
+            yield self.sim.timeout(retry.backoff_ns(attempt))
+            self.guest.record_recovery(DMA, start, attempt)
+            attempt += 1

@@ -11,6 +11,7 @@ from .events import (
     kernel_event,
     launch_event,
     memcpy_event,
+    recovery_event,
     sync_event,
 )
 from .flamegraph import FlameNode, build_tree, frame_share, render_ascii
@@ -36,6 +37,7 @@ __all__ = [
     "memcpy_event",
     "ratio_of_means",
     "ratio_of_totals",
+    "recovery_event",
     "render_ascii",
     "sync_event",
 ]

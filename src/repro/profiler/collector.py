@@ -39,6 +39,13 @@ class Trace:
     def memcpys(self) -> List[TraceEvent]:
         return self.of_kind(EventKind.MEMCPY)
 
+    def recoveries(self) -> List[TraceEvent]:
+        return self.of_kind(EventKind.RECOVERY)
+
+    def recovery_ns(self) -> int:
+        """Total fault-recovery time (wasted attempts + backoff)."""
+        return self.total_duration_ns(EventKind.RECOVERY)
+
     def filter(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
         return [e for e in self.events if predicate(e)]
 
@@ -71,6 +78,7 @@ class Trace:
             EventKind.SYNC: "CPU:api",
             EventKind.KERNEL: "GPU:compute",
             EventKind.MEMCPY: "GPU:copy",
+            EventKind.RECOVERY: "CPU:recovery",
         }
         for event in self.sorted_by_start():
             args = {

@@ -23,6 +23,9 @@ class EventKind(Enum):
     ALLOC = "alloc"
     FREE = "free"
     SYNC = "sync"
+    # Fault recovery: wasted failed attempts, backoff waits, degraded
+    # staging, re-attestation (repro.faults).
+    RECOVERY = "recovery"
 
 
 @dataclass
@@ -128,3 +131,25 @@ def free_event(api: str, start_ns: int, duration_ns: int, size_bytes: int) -> Tr
 
 def sync_event(name: str, start_ns: int, duration_ns: int) -> TraceEvent:
     return TraceEvent(EventKind.SYNC, name, start_ns, duration_ns)
+
+
+def recovery_event(
+    site: str,
+    start_ns: int,
+    duration_ns: int,
+    attempt: int,
+    action: str = "retry",
+) -> TraceEvent:
+    """Time spent recovering from an injected fault at ``site``.
+
+    ``action`` is "retry" (wasted attempt + backoff), "degraded"
+    (chunked-staging slowdown), "re-attest", or "fatal" (the final
+    unrecovered attempt before escalation).
+    """
+    return TraceEvent(
+        EventKind.RECOVERY,
+        f"recover:{site}",
+        start_ns,
+        duration_ns,
+        attrs={"site": site, "attempt": attempt, "action": action},
+    )

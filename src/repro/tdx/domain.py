@@ -13,24 +13,35 @@ per-primitive counters used in overhead breakdowns.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from ..config import SystemConfig
 from ..crypto import throughput as crypto_throughput
+from ..faults import HYPERCALL, FatalFault, FaultInjector
 from ..mem import BounceBufferPool, HostMemory
+from ..profiler import recovery_event
 from ..sim import Simulator
 from .callstack import CallStackRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profiler import Trace
 
 
 class GuestContext:
     """A VM (cc off) or TD (cc on) with its memory and TDX cost model."""
 
-    def __init__(self, sim: Simulator, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        trace: Optional["Trace"] = None,
+    ) -> None:
         self.sim = sim
         self.config = config
         self.cc = config.cc_on
+        self.trace = trace
         self.memory = HostMemory(
             config.vm_memory_bytes, td=self.cc, page_size=config.tdx.page_size
         )
@@ -39,11 +50,35 @@ class GuestContext:
         )
         self.stacks = CallStackRecorder()
         self.rng = np.random.default_rng(config.seed)
+        self.faults = FaultInjector(config.faults, seed=config.seed, sim=sim)
         # Primitive counters for overhead attribution.
         self.hypercall_count = 0
         self.seamcall_count = 0
         self.pages_accepted = 0
         self.pages_converted = 0
+
+    # -- fault recovery accounting ------------------------------------------
+
+    def record_recovery(
+        self,
+        site: str,
+        start_ns: int,
+        attempt: int,
+        action: str = "retry",
+        fatal: bool = False,
+    ) -> None:
+        """Book [start_ns, now) as recovery time for ``site``.
+
+        Emits a RECOVERY trace event (when a trace is attached) so the
+        core/breakdown gains a distinct "recovery" component, and feeds
+        the injector ledger behind the ``faults`` CLI report.
+        """
+        duration = self.sim.now - start_ns
+        if self.trace is not None:
+            self.trace.add(
+                recovery_event(site, start_ns, duration, attempt, action)
+            )
+        self.faults.note_recovery(site, duration, fatal=fatal)
 
     # -- timing primitives -------------------------------------------------
 
@@ -68,7 +103,27 @@ class GuestContext:
 
         In a regular VM this is a plain VM exit; in a TD it routes
         through the TDX module (tdcall -> SEAM -> hypervisor -> back).
+        An injected timeout wastes the watchdog budget and reissues the
+        call with backoff; exhaustion raises :class:`FatalFault`.
         """
+        attempt = 1
+        while True:
+            fault = self.faults.draw(HYPERCALL)
+            if fault is None:
+                break
+            start = self.sim.now
+            timeout = self.config.fault_model.hypercall_timeout_ns
+            with self.stacks.frame("tdx_hypercall.timeout"):
+                self.stacks.record(timeout)
+            yield self.sim.timeout(timeout)
+            if attempt >= self.config.retry.max_attempts:
+                self.record_recovery(
+                    HYPERCALL, start, attempt, "fatal", fatal=True
+                )
+                raise FatalFault(HYPERCALL, attempt, fault)
+            yield self.sim.timeout(self.config.retry.backoff_ns(attempt))
+            self.record_recovery(HYPERCALL, start, attempt)
+            attempt += 1
         self.hypercall_count += 1
         duration = self.config.hypercall_ns()
         if self.cc:
@@ -132,16 +187,21 @@ class GuestContext:
         """
         with self.stacks.frame("dma_direct_alloc"):
             slot = self.bounce.alloc(size)
-            if self.cc:
-                with self.stacks.frame("swiotlb_tbl_map_single"):
-                    self.stacks.record(500 * max(1, size // (1 << 20)))
-                yield from self.hypercall("tdvmcall.mapgpa")
-                num_pages = (size + self.config.tdx.page_size - 1) // self.config.tdx.page_size
-                duration = num_pages * self.config.tdx.page_convert_ns
-                self.pages_converted += num_pages
-                with self.stacks.frame("set_memory_decrypted"):
-                    self.stacks.record(duration)
-                yield self.sim.timeout(duration)
+            try:
+                if self.cc:
+                    with self.stacks.frame("swiotlb_tbl_map_single"):
+                        self.stacks.record(500 * max(1, size // (1 << 20)))
+                    yield from self.hypercall("tdvmcall.mapgpa")
+                    num_pages = (size + self.config.tdx.page_size - 1) // self.config.tdx.page_size
+                    duration = num_pages * self.config.tdx.page_convert_ns
+                    self.pages_converted += num_pages
+                    with self.stacks.frame("set_memory_decrypted"):
+                        self.stacks.record(duration)
+                    yield self.sim.timeout(duration)
+            except BaseException:
+                # The mapping failed: the slot must not leak.
+                self.bounce.free(slot)
+                raise
         return slot
 
     def dma_free_bounce(self, slot: int) -> None:

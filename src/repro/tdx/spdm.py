@@ -31,6 +31,8 @@ from typing import Generator, List, Optional, Tuple
 from .. import units
 from ..config import SystemConfig
 from ..crypto.sha256 import hkdf_expand, hmac_sha256, sha256
+from ..faults import SPDM as SPDM_SITE
+from ..faults import FatalFault
 from ..sim import Simulator
 from .domain import GuestContext
 
@@ -174,6 +176,15 @@ class SpdmRequester:
         yield self.sim.timeout(pcie_ns + _RESPONDER_NS[request.code])
         self._transcript += request.to_bytes()
         response = responder.handle(request)
+        fault = self.guest.faults.draw(SPDM_SITE)
+        if fault is not None:
+            # Corrupt the response on the wire.  Proof-carrying messages
+            # fail verification directly; any other corruption diverges
+            # the transcripts and is caught by the key schedule at
+            # FINISH — SPDM's transcript binding guarantees detection.
+            tampered = bytearray(response.payload or b"\x00")
+            tampered[-1] ^= 0xFF
+            response = SpdmMessage(response.code, bytes(tampered))
         self._transcript += response.to_bytes()
         yield from self.guest.cpu_work(units.us(15))  # verify/parse
         return response
@@ -261,12 +272,36 @@ def attest_gpu(
     ``measurement`` is what the GPU reports; ``expected_measurement``
     is the verifier policy (defaults to matching — pass a different
     value to simulate a compromised device being rejected).
+
+    Injected message corruption (the ``spdm.attest`` fault site) is
+    recovered by tearing the session down and re-attesting from scratch
+    — SPDM state is transcript-bound, so no partial resume is possible.
+    Genuine verification failures (policy mismatch, bad proof with no
+    injection) are *not* retried; retry exhaustion raises
+    :class:`~repro.faults.FatalFault`.
     """
     measurement = measurement if measurement is not None else sha256(b"h100-cc-fw")
     expected = (
         expected_measurement if expected_measurement is not None else measurement
     )
-    responder = SpdmResponder(device_secret, measurement)
-    requester = SpdmRequester(sim, guest, config, expected, device_secret)
-    session = yield from requester.establish(responder)
-    return session
+    retry = config.retry
+    attempt = 1
+    while True:
+        responder = SpdmResponder(device_secret, measurement)
+        requester = SpdmRequester(sim, guest, config, expected, device_secret)
+        injected_before = guest.faults.injected_at(SPDM_SITE)
+        start = sim.now
+        try:
+            session = yield from requester.establish(responder)
+            return session
+        except SpdmError as exc:
+            if guest.faults.injected_at(SPDM_SITE) == injected_before:
+                raise  # genuine failure, not an injected corruption
+            if attempt >= retry.max_attempts:
+                guest.record_recovery(SPDM_SITE, start, attempt, "fatal", fatal=True)
+                raise FatalFault(SPDM_SITE, attempt) from exc
+            yield sim.timeout(
+                config.fault_model.spdm_restart_ns + retry.backoff_ns(attempt)
+            )
+            guest.record_recovery(SPDM_SITE, start, attempt, "re-attest")
+            attempt += 1

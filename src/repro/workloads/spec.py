@@ -205,7 +205,14 @@ def execute(rt: CudaRuntime, spec: WorkloadSpec) -> Generator:
             elif kind == "free":
                 yield from rt.free(buffers.pop(op["name"]))
 
-    yield from run_ops(spec.ops)
+    try:
+        yield from run_ops(spec.ops)
+    except BaseException:
+        # A fatal fault mid-run must not leak allocations: reclaim the
+        # backing store untimed (the sim may not be drivable any more).
+        for buffer in buffers.values():
+            rt.reclaim(buffer)
+        raise
     # Free anything the spec left allocated (keeps machines leak-free).
     for name in list(buffers):
         buffer = buffers.pop(name)

@@ -109,3 +109,80 @@ def test_attest_cc(capsys):
     out = capsys.readouterr().out
     assert "SPDM session established (TD)" in out
     assert "session key" in out
+
+
+# --- fault-injection flags and error handling ------------------------------
+
+
+def test_run_seed_flag(capsys):
+    assert main(["run", "2mm", "--seed", "7"]) == 0
+    assert "2mm [base]" in capsys.readouterr().out
+
+
+def test_run_fault_rate(capsys):
+    assert main(["run", "srad", "--cc", "--fault-rate", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "faults   injected" in out
+    assert "of D: recovery" in out
+
+
+def test_run_fault_plan_file(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"sites": {"crypto.gcm_tag": {"schedule": [0]}}}')
+    assert main(["run", "srad", "--cc", "--fault-plan", str(plan)]) == 0
+    assert "faults   injected 1" in capsys.readouterr().out
+
+
+def test_run_fault_plan_missing_file():
+    with pytest.raises(SystemExit, match="fault-plan"):
+        main(["run", "2mm", "--fault-plan", "/no/such/plan.json"])
+
+
+def test_run_fault_plan_and_rate_conflict(tmp_path):
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"sites": {}}')
+    with pytest.raises(SystemExit, match="mutually exclusive"):
+        main(["run", "2mm", "--fault-plan", str(plan), "--fault-rate", "0.1"])
+
+
+def test_run_fault_rate_out_of_range():
+    with pytest.raises(SystemExit, match="fault-rate"):
+        main(["run", "2mm", "--fault-rate", "-0.1"])
+    with pytest.raises(SystemExit, match="fault-rate"):
+        main(["run", "2mm", "--fault-rate", "1.5"])
+
+
+def test_faults_report(capsys):
+    assert main(["faults", "srad", "--cc", "--fault-rate", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "fault report: srad [cc]" in out
+    assert "crypto.gcm_tag" in out
+    assert "recovery" in out
+
+
+def test_faults_report_defaults_to_visible_rate(capsys):
+    assert main(["faults", "srad", "--cc"]) == 0
+    assert "injected" in capsys.readouterr().out
+
+
+def test_fatal_fault_exits_nonzero_with_diagnostic(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text(
+        '{"sites": {"crypto.gcm_tag": {"schedule": [0, 1, 2, 3, 4, 5]}}}'
+    )
+    assert main(["run", "srad", "--cc", "--fault-plan", str(plan)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: FatalCudaFault:")
+    assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+
+def test_oom_exits_nonzero_with_diagnostic(capsys, monkeypatch):
+    from repro.mem.allocator import OutOfMemoryError
+    import repro.cli as cli
+
+    def boom(_args):
+        raise OutOfMemoryError("HBM exhausted")
+
+    monkeypatch.setitem(cli._COMMANDS, "run", boom)
+    assert main(["run", "2mm"]) == 1
+    assert "error: OutOfMemoryError" in capsys.readouterr().err

@@ -79,6 +79,56 @@ def test_bounce_pool_exhaustion():
     assert guest.bounce.free_bytes == config.tdx.bounce_pool_bytes
 
 
+def test_failed_copy_releases_bounce_slots():
+    """Regression: a copy that dies mid-flight must not leak its bounce
+    slot (or the pool silently shrinks until every CC copy degrades)."""
+    from repro.cuda import FatalCudaFault
+    from repro.faults import GCM_TAG, FaultPlan, SiteFaults
+
+    plan = FaultPlan.from_mapping(
+        {GCM_TAG: SiteFaults(schedule=tuple(range(8)))}
+    )
+    machine = Machine(SystemConfig.confidential().replace(faults=plan))
+
+    def copy_forever(rt):
+        dev = yield from rt.malloc(units.MiB)
+        host = yield from rt.host_alloc(units.MiB)
+        try:
+            yield from rt.memcpy(dev, host)
+        finally:
+            rt.reclaim(dev)
+            rt.reclaim(host)
+
+    with pytest.raises(FatalCudaFault):
+        machine.run(copy_forever)
+    assert machine.guest.bounce.used_bytes == 0
+    assert (
+        machine.guest.bounce.free_bytes
+        == machine.config.tdx.bounce_pool_bytes
+    )
+
+
+def test_functional_staging_frees_slot_on_corruption():
+    """Even a genuine (non-injected) tag failure in the functional
+    data path must free the staged slot before propagating."""
+    from repro.crypto import AuthenticationError
+
+    machine = Machine(SystemConfig.confidential())
+    rt = machine.runtime
+
+    class _BadGcm:
+        def encrypt(self, iv, data):
+            return data, b"\x00" * 16
+
+        def decrypt(self, iv, data, tag):
+            raise AuthenticationError("tag mismatch")
+
+    rt._gcm = _BadGcm()
+    with pytest.raises(AuthenticationError):
+        rt._stage_through_bounce(b"payload")
+    assert machine.guest.bounce.used_bytes == 0
+
+
 # --- runtime misuse -----------------------------------------------------------
 
 
