@@ -1,7 +1,48 @@
 """Extension experiments: the paper's flagged future-work directions,
 answered on the simulator (see repro.figures.extensions)."""
 
+from repro import units
+from repro.config import SystemConfig
+from repro.cuda import run_app
 from repro.figures import extensions
+from repro.gpu import nanosleep_kernel
+
+
+def _obs_probe_app(rt):
+    """Touches every instrumented path: mgmt, copies, launches, UVM."""
+    dev = yield from rt.malloc(8 * units.MiB)
+    host = yield from rt.host_alloc(8 * units.MiB)
+    managed = yield from rt.malloc_managed(4 * units.MiB)
+    yield from rt.memcpy(dev, host)
+    for _ in range(3):
+        kernel = nanosleep_kernel(units.us(40), name="probe")
+        yield from rt.launch(
+            kernel, managed_touches=[(managed, 4 * units.MiB)]
+        )
+        yield from rt.synchronize()
+    yield from rt.memcpy(host, dev)
+    yield from rt.free(managed)
+    yield from rt.free(dev)
+    yield from rt.free(host)
+
+
+def test_observability_is_zero_overhead():
+    """Tracing on vs off: identical simulated timings, event for event.
+
+    Spans and metrics are pure bookkeeping — they must never touch the
+    simulation clock, in either security mode.
+    """
+    for config_factory in (SystemConfig.base, SystemConfig.confidential):
+        on, _ = run_app(_obs_probe_app, config_factory(), observe=True)
+        off, _ = run_app(_obs_probe_app, config_factory(), observe=False)
+        assert len(on.spans) > 0 and len(on.metrics) > 0
+        assert len(off.spans) == 0 and len(off.metrics) == 0
+        assert off.span_ns() == on.span_ns()
+        assert [
+            (e.kind, e.name, e.start_ns, e.duration_ns) for e in off.events
+        ] == [
+            (e.kind, e.name, e.start_ns, e.duration_ns) for e in on.events
+        ]
 
 
 def test_ext_teeio(figure_runner):

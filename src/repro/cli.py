@@ -17,6 +17,17 @@ attest [--cc]
     Run the SPDM GPU attestation flow and report its cost.
 faults APP [--cc] [--uvm] [--fault-plan P.json | --fault-rate R]
     Run one app under a fault plan and print the per-site report.
+trace export APP -o OUT.json [--cc] [--uvm] ...
+    Run one app and write its full observability record (events,
+    spans, metrics) as Perfetto-loadable Chrome-trace JSON.
+trace summarize (APP [--cc] ... | --input TRACE.json)
+    Per-layer time table, wall-clock attribution, Sec.-V model terms,
+    metrics, and the longest spans.
+trace diff APP [--uvm] | --base B.json --cc-trace C.json
+    CC-on vs CC-off overhead attribution across the model terms, with
+    a model-drift cross-check.
+trace validate TRACE.json
+    Check a trace file against the exporter schema.
 """
 
 from __future__ import annotations
@@ -325,6 +336,70 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def _run_traced(args, cc: bool, label_suffix: str = ""):
+    """Run one catalogue app with observability on; returns the trace."""
+    info = CATALOG[args.app]
+    args_cc_saved = args.cc if hasattr(args, "cc") else False
+    args.cc = cc
+    config = _config(args)
+    args.cc = args_cc_saved
+    machine = Machine(config, label=f"{args.app}{label_suffix}")
+    machine.run(info.app(getattr(args, "uvm", False)))
+    return machine.trace
+
+
+def cmd_trace(args) -> int:
+    from .obs import summary
+    from .profiler import load_chrome_trace, validate_chrome_trace
+
+    if args.trace_command == "export":
+        trace = _run_traced(args, args.cc, label_suffix="|cc" if args.cc else "|base")
+        with open(args.output, "w") as handle:
+            handle.write(trace.to_chrome_trace())
+        print(f"{trace.label}: {len(trace)} events, {len(trace.spans)} spans, "
+              f"{len(trace.metrics)} metrics -> {args.output}")
+        return 0
+
+    if args.trace_command == "summarize":
+        if args.input:
+            trace = load_chrome_trace(args.input, label=args.input)
+        else:
+            if not args.app:
+                raise SystemExit("trace summarize needs APP or --input")
+            trace = _run_traced(args, args.cc)
+        print(summary.summarize(trace, top=args.top))
+        return 0
+
+    if args.trace_command == "diff":
+        if args.base or args.cc_trace:
+            if not (args.base and args.cc_trace):
+                raise SystemExit("--base and --cc-trace must be given together")
+            base_trace = load_chrome_trace(args.base)
+            cc_trace = load_chrome_trace(args.cc_trace)
+        else:
+            if not args.app:
+                raise SystemExit("trace diff needs APP or --base/--cc-trace")
+            base_trace = _run_traced(args, cc=False, label_suffix="|base")
+            cc_trace = _run_traced(args, cc=True, label_suffix="|cc")
+        result = summary.diff(base_trace, cc_trace, tolerance=args.tolerance)
+        print(summary.render_diff(result))
+        return 1 if result.flagged else 0
+
+    if args.trace_command == "validate":
+        with open(args.input) as handle:
+            errors = validate_chrome_trace(handle.read())
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(f"{args.input}: {len(errors)} schema violation(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.input}: valid")
+        return 0
+
+    raise SystemExit(f"unknown trace subcommand {args.trace_command!r}")
+
+
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None,
                         help="override SystemConfig.seed")
@@ -374,6 +449,54 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--uvm", action="store_true")
     _add_fault_args(faults_p)
 
+    trace_p = sub.add_parser(
+        "trace", help="export / summarize / diff observability traces"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    texp_p = trace_sub.add_parser(
+        "export", help="run an app and write a Perfetto-loadable trace"
+    )
+    texp_p.add_argument("app", choices=sorted(CATALOG))
+    texp_p.add_argument("-o", "--output", required=True,
+                        help="chrome-trace JSON output path")
+    texp_p.add_argument("--cc", action="store_true")
+    texp_p.add_argument("--uvm", action="store_true")
+    texp_p.add_argument("--teeio", action="store_true")
+    _add_fault_args(texp_p)
+
+    tsum_p = trace_sub.add_parser(
+        "summarize", help="per-layer table, model terms, top spans"
+    )
+    tsum_p.add_argument("app", nargs="?", choices=sorted(CATALOG))
+    tsum_p.add_argument("--input", default="",
+                        help="summarize an exported trace file instead")
+    tsum_p.add_argument("--top", type=int, default=10,
+                        help="number of top spans to list")
+    tsum_p.add_argument("--cc", action="store_true")
+    tsum_p.add_argument("--uvm", action="store_true")
+    tsum_p.add_argument("--teeio", action="store_true")
+    _add_fault_args(tsum_p)
+
+    tdiff_p = trace_sub.add_parser(
+        "diff", help="CC-on vs CC-off overhead attribution"
+    )
+    tdiff_p.add_argument("app", nargs="?", choices=sorted(CATALOG))
+    tdiff_p.add_argument("--base", default="",
+                         help="CC-off trace file (with --cc-trace)")
+    tdiff_p.add_argument("--cc-trace", default="",
+                         help="CC-on trace file (with --base)")
+    tdiff_p.add_argument("--tolerance", type=float, default=0.01,
+                         help="model drift tolerance (default 1%%)")
+    tdiff_p.add_argument("--uvm", action="store_true")
+    tdiff_p.add_argument("--teeio", action="store_true")
+    _add_fault_args(tdiff_p)
+
+    tval_p = trace_sub.add_parser(
+        "validate", help="check a trace file against the exporter schema"
+    )
+    tval_p.add_argument("input", help="chrome-trace JSON path")
+
     rep_p = sub.add_parser(
         "report", help="aggregate paper-vs-measured from results/"
     )
@@ -406,6 +529,7 @@ _COMMANDS = {
     "attest": cmd_attest,
     "faults": cmd_faults,
     "report": cmd_report,
+    "trace": cmd_trace,
     "analyze": cmd_analyze,
     "whatif": cmd_whatif,
 }

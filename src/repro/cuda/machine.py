@@ -22,11 +22,17 @@ AppFunction = Callable[..., Generator]
 class Machine:
     """One booted platform instance (fresh state per application run)."""
 
-    def __init__(self, config: Optional[SystemConfig] = None, label: str = "") -> None:
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        label: str = "",
+        observe: bool = True,
+    ) -> None:
         self.config = config or SystemConfig.base()
         self.config.validate()
         self.sim = Simulator()
-        self.trace = Trace(label=label)
+        self.trace = Trace(label=label, observability=observe)
+        self.trace.bind_clock(lambda: self.sim.now)
         self.guest = GuestContext(self.sim, self.config, trace=self.trace)
         self.gpu = GPU(self.sim, self.config, self.guest, self.trace)
         self.runtime = CudaRuntime(
@@ -47,11 +53,12 @@ def run_app(
     app: AppFunction,
     config: Optional[SystemConfig] = None,
     label: str = "",
+    observe: bool = True,
     *args: Any,
     **kwargs: Any,
 ) -> Tuple[Trace, Any]:
     """Convenience: boot a machine, run one app, return (trace, result)."""
-    machine = Machine(config, label=label)
+    machine = Machine(config, label=label, observe=observe)
     result = machine.run(app, *args, **kwargs)
     return machine.trace, result
 

@@ -136,7 +136,8 @@ class CudaRuntime:
         cost = self.guest.jitter(int(base_ns + per_page * num_pages), 0.05)
         start = self.sim.now
         with self.guest.stacks.frame(api):
-            yield from self.guest.cpu_work(cost)
+            with self.guest.spans.span(api, "driver", bytes=size):
+                yield from self.guest.cpu_work(cost)
         return start, self.sim.now - start
 
     def malloc(self, size: int) -> Generator:
@@ -315,16 +316,22 @@ class CudaRuntime:
         if tail is not None and not tail.processed:
             yield tail
         plan = plan_copy(self.config, self.guest, copy_kind, size, memory, cold)
-        engine = self.gpu.copy_engine(copy_kind).request()
-        yield engine
-        try:
-            yield from self._copy_with_recovery(
-                copy_kind, plan, size, memory, self.default_stream.id
-            )
-            self.guest.hypercall_count += plan.hypercalls
-            self._functional_transfer(dst, src, size)
-        finally:
-            self.gpu.copy_engine(copy_kind).release(engine)
+        with self.guest.spans.span(
+            "cudaMemcpy",
+            "driver",
+            bytes=size,
+            copy_kind=copy_kind.value,
+        ):
+            engine = self.gpu.copy_engine(copy_kind).request()
+            yield engine
+            try:
+                yield from self._copy_with_recovery(
+                    copy_kind, plan, size, memory, self.default_stream.id
+                )
+                self.guest.hypercall_count += plan.hypercalls
+                self._functional_transfer(dst, src, size)
+            finally:
+                self.gpu.copy_engine(copy_kind).release(engine)
         return plan
 
     def _copy_with_recovery(
@@ -391,6 +398,14 @@ class CudaRuntime:
                 managed=plan.managed_label,
             )
         )
+        for name, layer, stage_start, stage_ns, attrs in plan.attribution(
+            start, self.config.cc_on
+        ):
+            guest.spans.record(name, layer, stage_start, stage_ns, **attrs)
+        if plan.hypercalls:
+            guest.metrics.counter("tdx.hypercalls").inc(plan.hypercalls)
+        if self.config.cc_on and plan.cpu_ns:
+            guest.metrics.counter("crypto.encrypted_bytes").inc(size)
         if degraded:
             degraded_start = self.sim.now
             chunks = units.pages(size, model.bounce_degraded_chunk_bytes)
@@ -418,38 +433,59 @@ class CudaRuntime:
         # work blocks the calling thread, so it is traced as its own
         # memcpy-staging event — this is the un-hideable part of an
         # "async" copy under CC (single OpenSSL worker).
-        yield from self.guest.cpu_work(units.us(1.2))
-        if plan.cpu_ns:
-            staging_start = self.sim.now
-            with self.guest.stacks.frame("cudaMemcpyAsync.staging"):
-                yield from self.guest.cpu_work(plan.cpu_ns)
-            staging_event = memcpy_event(
-                copy_kind,
-                staging_start,
-                self.sim.now - staging_start,
-                size,
-                memory,
-                stream=stream.id,
-                managed=plan.managed_label,
-            )
-            staging_event.attrs["staging"] = True
-            self.trace.add(staging_event)
-        self.guest.hypercall_count += plan.hypercalls
-        done = self.sim.event()
-        command = CopyCommand(
-            copy_kind=copy_kind,
-            memory=memory,
-            size_bytes=size,
-            gpu_time_ns=plan.setup_ns + plan.dma_ns,
+        with self.guest.spans.span(
+            "cudaMemcpyAsync",
+            "driver",
+            bytes=size,
+            copy_kind=copy_kind.value,
             stream=stream.id,
-            enqueued_ns=self.sim.now,
-            done=done,
-            predecessor=stream.tail,
-            managed_label=plan.managed_label,
-        )
-        yield self.gpu.submit(command)
-        stream.tail = done
-        self._functional_transfer(dst, src, size)
+        ):
+            yield from self.guest.cpu_work(units.us(1.2))
+            if plan.cpu_ns:
+                staging_start = self.sim.now
+                cc = self.config.cc_on
+                with self.guest.stacks.frame("cudaMemcpyAsync.staging"):
+                    with self.guest.spans.span(
+                        "memcpy.encrypt" if cc else "memcpy.staging",
+                        "td" if cc else "driver",
+                        **({"crypto": True} if cc else {}),
+                    ):
+                        yield from self.guest.cpu_work(plan.cpu_ns)
+                staging_event = memcpy_event(
+                    copy_kind,
+                    staging_start,
+                    self.sim.now - staging_start,
+                    size,
+                    memory,
+                    stream=stream.id,
+                    managed=plan.managed_label,
+                )
+                staging_event.attrs["staging"] = True
+                self.trace.add(staging_event)
+                if cc:
+                    self.guest.metrics.counter("crypto.encrypted_bytes").inc(
+                        size
+                    )
+            self.guest.hypercall_count += plan.hypercalls
+            if plan.hypercalls:
+                self.guest.metrics.counter("tdx.hypercalls").inc(
+                    plan.hypercalls
+                )
+            done = self.sim.event()
+            command = CopyCommand(
+                copy_kind=copy_kind,
+                memory=memory,
+                size_bytes=size,
+                gpu_time_ns=plan.setup_ns + plan.dma_ns,
+                stream=stream.id,
+                enqueued_ns=self.sim.now,
+                done=done,
+                predecessor=stream.tail,
+                managed_label=plan.managed_label,
+            )
+            yield self.gpu.submit(command)
+            stream.tail = done
+            self._functional_transfer(dst, src, size)
         return done
 
     # ------------------------------------------------------------------
@@ -478,6 +514,9 @@ class CudaRuntime:
         # Launch-queue credit (backpressure when the queue is full).
         credit = self.gpu.launch_credits.request()
         yield credit
+        self.guest.metrics.gauge("launch.queue_depth").set(
+            self.gpu.launch_credits.in_use
+        )
         try:
             start = self.sim.now
             lqt = (
@@ -487,17 +526,24 @@ class CudaRuntime:
             )
             first = kernel.name not in self._seen_kernels
             with self.guest.stacks.frame("cudaLaunchKernel"):
-                with self.guest.stacks.frame("libcuda.so::cuLaunchKernel"):
-                    if first:
-                        self._seen_kernels.add(kernel.name)
-                        yield from self._first_launch_setup(kernel)
-                    base = self.guest.jitter(
-                        launch_cfg.klo_base_ns, launch_cfg.jitter_sigma
-                    )
-                    with self.guest.stacks.frame("nvidia.ko::rm_ioctl"):
-                        yield from self.guest.cpu_work(base)
-                        if self.config.cc_on:
-                            yield from self._cc_launch_extra()
+                with self.guest.spans.span(
+                    "cudaLaunchKernel",
+                    "driver",
+                    kernel=kernel.name,
+                    stream=stream.id,
+                    first=first,
+                ):
+                    with self.guest.stacks.frame("libcuda.so::cuLaunchKernel"):
+                        if first:
+                            self._seen_kernels.add(kernel.name)
+                            yield from self._first_launch_setup(kernel)
+                        base = self.guest.jitter(
+                            launch_cfg.klo_base_ns, launch_cfg.jitter_sigma
+                        )
+                        with self.guest.stacks.frame("nvidia.ko::rm_ioctl"):
+                            yield from self.guest.cpu_work(base)
+                            if self.config.cc_on:
+                                yield from self._cc_launch_extra()
         except BaseException:
             # Driver-side failure (e.g. a fatal hypercall fault) before
             # the command reached the GPU: the queue credit must not
@@ -539,7 +585,8 @@ class CudaRuntime:
         unroll = kernel.attrs.get("unroll", 1.0)
         extra = int(extra * (1.0 + 0.015 * max(unroll - 1.0, 0.0)))
         with self.guest.stacks.frame("cuModuleLoad"):
-            yield from self.guest.cpu_work(extra)
+            with self.guest.spans.span("cuModuleLoad", "driver"):
+                yield from self.guest.cpu_work(extra)
         if self.config.cc_on:
             pages = int(
                 kernel.attrs.get(
@@ -547,19 +594,35 @@ class CudaRuntime:
                 )
             )
             with self.guest.stacks.frame("dma_direct_alloc"):
-                yield from self.guest.hypercall("tdvmcall.mapgpa")
-                duration = pages * self.config.tdx.page_convert_ns
-                self.guest.pages_converted += pages
-                with self.guest.stacks.frame("set_memory_decrypted"):
-                    self.guest.stacks.record(duration)
-                yield self.sim.timeout(duration)
+                with self.guest.spans.span(
+                    "dma_direct_alloc", "driver", pages=pages
+                ):
+                    yield from self.guest.hypercall("tdvmcall.mapgpa")
+                    duration = pages * self.config.tdx.page_convert_ns
+                    self.guest.pages_converted += pages
+                    with self.guest.stacks.frame("set_memory_decrypted"):
+                        self.guest.stacks.record(duration)
+                    yield self.sim.timeout(duration)
+                    self.guest.spans.record(
+                        "set_memory_decrypted",
+                        "td",
+                        self.sim.now - duration,
+                        duration,
+                        pages=pages,
+                    )
+                    self.guest.metrics.counter("tdx.pages_converted").inc(
+                        pages
+                    )
             yield from self.guest.hypercall("tdvmcall.mmio")
 
     def _cc_launch_extra(self) -> Generator:
         """Steady-state CC launch tax: packet crypto + rare hypercalls."""
         launch_cfg = self.config.launch
         with self.guest.stacks.frame("cc_encrypt_pushbuffer"):
-            yield from self.guest.cpu_work(launch_cfg.klo_cc_extra_ns)
+            with self.guest.spans.span(
+                "cc_encrypt_pushbuffer", "td", crypto=True
+            ):
+                yield from self.guest.cpu_work(launch_cfg.klo_cc_extra_ns)
         self._hypercall_accum += launch_cfg.hypercalls_per_launch
         while self._hypercall_accum >= 1.0:
             self._hypercall_accum -= 1.0
@@ -580,9 +643,12 @@ class CudaRuntime:
 
     def stream_synchronize(self, stream: Stream) -> Generator:
         start = self.sim.now
-        if stream.tail is not None and not stream.tail.processed:
-            yield stream.tail
-        yield from self._sync_overhead()
+        with self.guest.spans.span(
+            "cudaStreamSynchronize", "driver", stream=stream.id
+        ):
+            if stream.tail is not None and not stream.tail.processed:
+                yield stream.tail
+            yield from self._sync_overhead()
         self.trace.add(
             sync_event("cudaStreamSynchronize", start, self.sim.now - start)
         )
@@ -591,14 +657,15 @@ class CudaRuntime:
     def synchronize(self) -> Generator:
         """cudaDeviceSynchronize: wait for all streams."""
         start = self.sim.now
-        pending = [
-            s.tail
-            for s in self._streams
-            if s.tail is not None and not s.tail.processed
-        ]
-        if pending:
-            yield self.sim.all_of(pending)
-        yield from self._sync_overhead()
+        with self.guest.spans.span("cudaDeviceSynchronize", "driver"):
+            pending = [
+                s.tail
+                for s in self._streams
+                if s.tail is not None and not s.tail.processed
+            ]
+            if pending:
+                yield self.sim.all_of(pending)
+            yield from self._sync_overhead()
         self.trace.add(
             sync_event("cudaDeviceSynchronize", start, self.sim.now - start)
         )
@@ -626,7 +693,10 @@ class CudaRuntime:
             kernels
         )
         with self.guest.stacks.frame("cudaGraphInstantiate"):
-            yield from self.guest.cpu_work(cost)
+            with self.guest.spans.span(
+                "cudaGraphInstantiate", "driver", nodes=len(kernels)
+            ):
+                yield from self.guest.cpu_work(cost)
         nodes = []
         for index, kernel in enumerate(kernels):
             touches = (
@@ -652,9 +722,17 @@ class CudaRuntime:
         )
         cost = cfg.graph_launch_base_ns + cfg.graph_launch_per_node_ns * graph.num_nodes
         with self.guest.stacks.frame("cudaGraphLaunch"):
-            yield from self.guest.cpu_work(self.guest.jitter(cost, cfg.jitter_sigma))
-            if self.config.cc_on:
-                yield from self._cc_launch_extra()
+            with self.guest.spans.span(
+                "cudaGraphLaunch",
+                "driver",
+                nodes=graph.num_nodes,
+                stream=stream.id,
+            ):
+                yield from self.guest.cpu_work(
+                    self.guest.jitter(cost, cfg.jitter_sigma)
+                )
+                if self.config.cc_on:
+                    yield from self._cc_launch_extra()
         end = self.sim.now
         self._last_launch_end = end
         self.trace.add(

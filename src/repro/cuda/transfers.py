@@ -36,6 +36,37 @@ class TransferPlan:
     hypercalls: int
     managed_label: bool  # Nsight would label this copy Managed/D2D
 
+    def attribution(self, start_ns: int, cc_on: bool):
+        """Per-stage span rows ``(name, layer, start, dur, attrs)``.
+
+        The plan's stages overlap in the chunked pipeline; rows are
+        laid out as setup at the front, the CPU-resident stage right
+        after it, and the DMA stage flush with the end, all inside
+        ``[start_ns, start_ns + total_ns)`` — wall-clock faithful at
+        the edges, overlapping in the middle like the real pipeline.
+        """
+        end_ns = start_ns + self.total_ns
+        rows = []
+        if self.setup_ns:
+            rows.append(
+                ("memcpy.setup", "driver", start_ns, self.setup_ns, {})
+            )
+        if self.cpu_ns:
+            name = "memcpy.encrypt" if cc_on else "memcpy.staging"
+            rows.append(
+                (
+                    name,
+                    "td" if cc_on else "driver",
+                    start_ns + self.setup_ns,
+                    min(self.cpu_ns, self.total_ns - self.setup_ns),
+                    {"crypto": True} if cc_on else {},
+                )
+            )
+        if self.dma_ns:
+            dma = min(self.dma_ns, self.total_ns)
+            rows.append(("memcpy.dma", "dma", end_ns - dma, dma, {}))
+        return rows
+
 
 def _pipeline_ns(stage_a_ns: int, stage_b_ns: int, chunks: int) -> int:
     """Two-stage chunked pipeline: fill + bottleneck steady state."""

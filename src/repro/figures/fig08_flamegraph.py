@@ -1,9 +1,9 @@
 """Fig. 8: simplified call stack of a cudaLaunchKernel inside a TD.
 
-Runs a single kernel launch on a confidential machine, captures the
-recorded driver/TDX call stacks, and folds them into a flame graph —
-the dma_direct_alloc / set_memory_decrypted / tdx_hypercall frames the
-paper highlights.
+Runs a single kernel launch on a confidential machine, takes the
+hierarchical span subtree rooted at the ``cudaLaunchKernel`` driver
+span, and folds it into a flame graph — the dma_direct_alloc /
+set_memory_decrypted / tdx_hypercall frames the paper highlights.
 """
 
 from __future__ import annotations
@@ -12,7 +12,7 @@ from .. import units
 from ..config import SystemConfig
 from ..cuda import Machine
 from ..gpu import nanosleep_kernel
-from ..profiler import build_tree, frame_share, render_ascii
+from ..profiler import folded_from_spans, frame_share, render_ascii, tree_from_spans
 from .common import FigureResult
 
 
@@ -29,19 +29,14 @@ def _single_launch(rt):
 def generate() -> FigureResult:
     machine = Machine(SystemConfig.confidential(), label="fig08")
     machine.run(_single_launch)
-    samples = machine.guest.stacks.samples
-    # Restrict to the launch path (drop sync/idle frames).
-    launch_samples = {
-        stack: value
-        for stack, value in samples.items()
-        if stack and stack[0] == "cudaLaunchKernel"
-    }
-    tree = build_tree(launch_samples, root_name="cudaLaunchKernel(in TD)")
-    rows = []
-    for line in machine.guest.stacks.folded():
-        if line.startswith("cudaLaunchKernel"):
-            stack, _, value = line.rpartition(" ")
-            rows.append((stack, int(value)))
+    # Restrict to the launch path (drop sync/idle frames): fold the
+    # span subtree hanging off the cudaLaunchKernel driver span.
+    launch_root = next(
+        s for s in machine.trace.spans if s.name == "cudaLaunchKernel"
+    )
+    launch_spans = machine.trace.spans.subtree(launch_root)
+    tree = tree_from_spans(launch_spans, root_name="cudaLaunchKernel(in TD)")
+    rows = folded_from_spans(launch_spans)
     figure = FigureResult(
         figure_id="fig08_flamegraph",
         title="Folded call stacks of one cudaLaunchKernel inside a TD",

@@ -134,20 +134,33 @@ class GPU:
                 return
         slot = self.compute.request()
         yield slot
+        scope = f"gpu:s{command.stream}"
+        self.guest.metrics.gauge("gpu.compute_inflight").set(
+            self.compute.in_use
+        )
         try:
             exec_start = self.sim.now
             kqt = exec_start - command.enqueued_ns
             faulted_pages = 0
             uvm_used = bool(command.managed_touches)
-            for handle, touched_bytes in command.managed_touches:
-                migrated, _elapsed = yield from self.uvm.gpu_touch(
-                    handle, touched_bytes
+            with self.guest.spans.span(
+                command.kernel.name,
+                "gpu.compute",
+                scope=scope,
+                stream=command.stream,
+                kqt_ns=kqt,
+            ):
+                for handle, touched_bytes in command.managed_touches:
+                    migrated, _elapsed = yield from self.uvm.gpu_touch(
+                        handle, touched_bytes, scope=scope
+                    )
+                    alloc = self.uvm.allocation(handle)
+                    faulted_pages += migrated // max(alloc.chunk_bytes, 1)
+                yield self.sim.timeout(
+                    command.kernel.base_duration_ns(
+                        self.config.gpu, self.config.cc_on
+                    )
                 )
-                alloc = self.uvm.allocation(handle)
-                faulted_pages += migrated // max(alloc.chunk_bytes, 1)
-            yield self.sim.timeout(
-                command.kernel.base_duration_ns(self.config.gpu, self.config.cc_on)
-            )
             self.trace.add(
                 kernel_event(
                     command.kernel.name,
@@ -161,8 +174,14 @@ class GPU:
             )
         finally:
             self.compute.release(slot)
+            self.guest.metrics.gauge("gpu.compute_inflight").set(
+                self.compute.in_use
+            )
         if command.credit is not None:
             self.launch_credits.release(command.credit)
+            self.guest.metrics.gauge("launch.queue_depth").set(
+                self.launch_credits.in_use
+            )
         command.done.succeed()
 
     def _run_copy(self, command: CopyCommand) -> Generator:
@@ -174,10 +193,22 @@ class GPU:
                 return
         engine = self._copy_engines[command.copy_kind].request()
         yield engine
+        scope = f"gpu:s{command.stream}"
+        inflight = self.guest.metrics.gauge("gpu.copy_inflight")
+        inflight.set(
+            sum(e.in_use for e in self._copy_engines.values())
+        )
         try:
-            yield from self._dma_with_retry(command)
-            start = self.sim.now
-            yield self.sim.timeout(command.gpu_time_ns)
+            with self.guest.spans.span(
+                f"memcpy_{command.copy_kind.value}",
+                "gpu.copy",
+                scope=scope,
+                stream=command.stream,
+                bytes=command.size_bytes,
+            ):
+                yield from self._dma_with_retry(command, scope)
+                start = self.sim.now
+                yield self.sim.timeout(command.gpu_time_ns)
             self.trace.add(
                 memcpy_event(
                     command.copy_kind,
@@ -196,9 +227,12 @@ class GPU:
             return
         finally:
             self._copy_engines[command.copy_kind].release(engine)
+            inflight.set(
+                sum(e.in_use for e in self._copy_engines.values())
+            )
         command.done.succeed()
 
-    def _dma_with_retry(self, command: CopyCommand) -> Generator:
+    def _dma_with_retry(self, command: CopyCommand, scope: str = "cpu") -> Generator:
         """Consult the DMA fault site for an engine-resident transfer.
 
         Each injected transient error wastes the detected fraction of
@@ -219,8 +253,10 @@ class GPU:
             )
             yield self.sim.timeout(wasted)
             if attempt >= retry.max_attempts:
-                self.guest.record_recovery(DMA, start, attempt, "fatal", fatal=True)
+                self.guest.record_recovery(
+                    DMA, start, attempt, "fatal", fatal=True, scope=scope
+                )
                 raise FatalFault(DMA, attempt, fault)
             yield self.sim.timeout(retry.backoff_ns(attempt))
-            self.guest.record_recovery(DMA, start, attempt)
+            self.guest.record_recovery(DMA, start, attempt, scope=scope)
             attempt += 1

@@ -122,7 +122,9 @@ class UVMManager:
     def resident_bytes(self) -> int:
         return sum(a.resident_bytes for a in self._allocations.values())
 
-    def _evict_for(self, handle: int, incoming_bytes: int) -> Generator:
+    def _evict_for(
+        self, handle: int, incoming_bytes: int, scope: str = "cpu"
+    ) -> Generator:
         """LRU writeback until ``incoming_bytes`` fit in the budget.
 
         Whole allocations are evicted least-recently-touched first (the
@@ -158,10 +160,20 @@ class UVMManager:
                     self.config.uvm.migration_bw,
                 )
             yield self.sim.timeout(max(writeback, 1))
+            self.guest.spans.record(
+                "uvm.evict",
+                "dma",
+                self.sim.now - max(writeback, 1),
+                max(writeback, 1),
+                scope=scope,
+                bytes=evicted_chunks * victim.chunk_bytes,
+            )
             total_evicted_ns += writeback
         return total_evicted_ns
 
-    def gpu_touch(self, handle: int, byte_count: int) -> Generator:
+    def gpu_touch(
+        self, handle: int, byte_count: int, scope: str = "cpu"
+    ) -> Generator:
         """A kernel touches the first ``byte_count`` bytes of a buffer.
 
         Simulates the fault/migration traffic needed to make them
@@ -177,7 +189,7 @@ class UVMManager:
         uvm = self.config.uvm
         chunk_bytes = alloc.chunk_bytes
         start = self.sim.now
-        yield from self._evict_for(handle, missing * chunk_bytes)
+        yield from self._evict_for(handle, missing * chunk_bytes, scope=scope)
 
         if self.config.cc_on:
             # Encrypted paging defeats batching: each chunk pays a
@@ -213,6 +225,19 @@ class UVMManager:
         elapsed = self.sim.now - start
         self.total_migrated_bytes += migrated
         self.total_migration_ns += elapsed
+        self.guest.spans.record(
+            "uvm.migrate",
+            "dma",
+            start,
+            elapsed,
+            scope=scope,
+            bytes=migrated,
+            batches=batches,
+        )
+        self.guest.metrics.counter("uvm.migrated_bytes").inc(migrated)
+        if self.config.cc_on:
+            # Encrypted paging: every migrated chunk is AES-GCM'd.
+            self.guest.metrics.counter("crypto.encrypted_bytes").inc(migrated)
         return (migrated, elapsed)
 
     def cpu_touch(self, handle: int, byte_count: int) -> Generator:
@@ -234,4 +259,19 @@ class UVMManager:
             yield self.sim.timeout(
                 units.transfer_time_ns(total, uvm.migration_bw)
             )
-        return (moved * chunk_bytes, self.sim.now - start)
+        elapsed = self.sim.now - start
+        self.guest.spans.record(
+            "uvm.migrate_d2h",
+            "dma",
+            start,
+            elapsed,
+            bytes=moved * chunk_bytes,
+        )
+        self.guest.metrics.counter("uvm.migrated_bytes").inc(
+            moved * chunk_bytes
+        )
+        if self.config.cc_on:
+            self.guest.metrics.counter("crypto.encrypted_bytes").inc(
+                moved * chunk_bytes
+            )
+        return (moved * chunk_bytes, elapsed)

@@ -15,7 +15,7 @@ available for tests that want to see TME-MK behaviour explicitly.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from .. import units
 from .allocator import AllocatorError, ExtentAllocator
@@ -135,6 +135,9 @@ class BounceBufferPool:
         self._staged: Dict[int, bytes] = {}
         self.peak_usage = 0
         self.total_allocs = 0
+        # Observability hook: called with the pool's used byte count
+        # after every alloc/free (GuestContext points this at a gauge).
+        self.on_usage: Optional[Callable[[int], None]] = None
 
     @property
     def used_bytes(self) -> int:
@@ -148,11 +151,15 @@ class BounceBufferPool:
         slot = self._allocator.alloc(size)
         self.total_allocs += 1
         self.peak_usage = max(self.peak_usage, self.used_bytes)
+        if self.on_usage is not None:
+            self.on_usage(self.used_bytes)
         return slot
 
     def free(self, slot: int) -> None:
         self._staged.pop(slot, None)
         self._allocator.free(slot)
+        if self.on_usage is not None:
+            self.on_usage(self.used_bytes)
 
     def stage(self, slot: int, data: bytes) -> None:
         """Place (already encrypted) bytes into a bounce slot."""

@@ -1,0 +1,177 @@
+"""Metrics registry: counters, gauges, and histograms in simulated time.
+
+Counters and gauges keep their full sample series ``(t_ns, value)`` so
+they export as Chrome-trace counter ("C"-phase) tracks next to the
+span timeline — bounce-pool occupancy, engine utilisation and
+launch-queue depth over the run, not just their final values.
+Histograms collect raw observations for distribution summaries.
+
+All recording is pure bookkeeping (no simulation interaction), so the
+registry can never perturb simulated timings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Metric:
+    """Base: a named instrument bound to its registry's clock."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+
+    def _now(self) -> int:
+        clock = self._registry._clock
+        return clock() if clock is not None else 0
+
+
+class Counter(Metric):
+    """Monotonic cumulative count; each increment is a sample."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self.series: List[Tuple[int, Number]] = []
+
+    @property
+    def value(self) -> Number:
+        return self.series[-1][1] if self.series else 0
+
+    def inc(self, delta: Number = 1) -> None:
+        if not self._registry.enabled or delta == 0:
+            return
+        self.series.append((self._now(), self.value + delta))
+
+
+class Gauge(Metric):
+    """Point-in-time sampled value (occupancy, queue depth...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self.series: List[Tuple[int, Number]] = []
+
+    @property
+    def value(self) -> Number:
+        return self.series[-1][1] if self.series else 0
+
+    def set(self, value: Number) -> None:
+        if not self._registry.enabled:
+            return
+        self.series.append((self._now(), value))
+
+    def max(self) -> Number:
+        return max((v for _, v in self.series), default=0)
+
+
+class Histogram(Metric):
+    """Raw observation collector for distribution summaries."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self.values: List[Number] = []
+
+    def observe(self, value: Number) -> None:
+        if not self._registry.enabled:
+            return
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> Number:
+        return sum(self.values)
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics for one run."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], int]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self._clock = clock
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        self._clock = clock
+
+    def _get(self, name: str, kind: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = _KINDS[kind](name, self)
+            # A disabled registry hands out transient no-op instruments
+            # without registering them, so it stays observably empty.
+            if self.enabled:
+                self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter")  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge")  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, "histogram")  # type: ignore[return-value]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def sampled(self) -> List[Metric]:
+        """Counters and gauges (the exportable counter tracks), by name."""
+        return [
+            self._metrics[name]
+            for name in self.names()
+            if self._metrics[name].kind in ("counter", "gauge")
+        ]
+
+    def histograms(self) -> List[Histogram]:
+        return [
+            self._metrics[name]  # type: ignore[misc]
+            for name in self.names()
+            if self._metrics[name].kind == "histogram"
+        ]
+
+    # -- trace import support ----------------------------------------------
+
+    def import_series(
+        self, name: str, kind: str, samples: List[Tuple[int, Number]]
+    ) -> None:
+        """Restore a counter/gauge sample series from a trace file."""
+        metric = self._get(name, kind)
+        metric.series = list(samples)  # type: ignore[union-attr]
+
+    def import_histogram(self, name: str, values: List[Number]) -> None:
+        metric = self._get(name, "histogram")
+        metric.values = list(values)  # type: ignore[union-attr]

@@ -1,6 +1,8 @@
-"""Nsight-Systems-like profiling layer: trace events, collection,
-statistics (CDFs), and flame-graph folding."""
+"""Nsight-Systems-like profiling layer: trace events, hierarchical
+spans, metrics, collection, statistics (CDFs), and flame-graph
+folding."""
 
+from ..obs import MetricsRegistry, Span, SpanRecorder
 from .analysis import SummaryStats, cdf, cdf_at, ratio_of_means, ratio_of_totals
 from .collector import Trace
 from .events import (
@@ -14,19 +16,40 @@ from .events import (
     recovery_event,
     sync_event,
 )
-from .flamegraph import FlameNode, build_tree, frame_share, render_ascii
-from .importers import from_chrome_trace, from_rows, load_chrome_trace
+from .flamegraph import (
+    FlameNode,
+    build_tree,
+    folded_from_spans,
+    frame_share,
+    render_ascii,
+    tree_from_spans,
+)
+from .importers import (
+    ImportError_,
+    TraceImportError,
+    from_chrome_trace,
+    from_rows,
+    load_chrome_trace,
+)
+from .schema import assert_valid_chrome_trace, validate_chrome_trace
 
 __all__ = [
     "EventKind",
     "FlameNode",
+    "ImportError_",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
     "SummaryStats",
     "Trace",
     "TraceEvent",
+    "TraceImportError",
     "alloc_event",
+    "assert_valid_chrome_trace",
     "build_tree",
     "cdf",
     "cdf_at",
+    "folded_from_spans",
     "frame_share",
     "free_event",
     "from_chrome_trace",
@@ -40,4 +63,6 @@ __all__ = [
     "recovery_event",
     "render_ascii",
     "sync_event",
+    "tree_from_spans",
+    "validate_chrome_trace",
 ]

@@ -1,23 +1,77 @@
-"""Trace collection and querying."""
+"""Trace collection and querying.
+
+A :class:`Trace` is the full observability record of one run: the flat
+Nsight-style event list, the hierarchical span tree, and the sampled
+metrics registry (see :mod:`repro.obs`).  Export produces
+Perfetto-grade Chrome tracing JSON — integer pid/tid with "M"-phase
+process/thread name metadata, one thread track per event category and
+per span layer, and "C"-phase counter tracks — that round-trips
+losslessly (byte-identically) through :mod:`repro.profiler.importers`.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder, layer_sort_key
 from .events import EventKind, TraceEvent
+
+# Exported process id (one simulated application per trace).
+TRACE_PID = 1
+
+# Fixed thread-track ids for the flat event categories.
+EVENT_TRACKS: Dict[EventKind, Tuple[int, str]] = {
+    EventKind.ALLOC: (1, "CPU:api"),
+    EventKind.FREE: (1, "CPU:api"),
+    EventKind.SYNC: (1, "CPU:api"),
+    EventKind.LAUNCH: (2, "CPU:driver"),
+    EventKind.RECOVERY: (3, "CPU:recovery"),
+    EventKind.KERNEL: (4, "GPU:compute"),
+    EventKind.MEMCPY: (5, "GPU:copy"),
+}
+
+# Fixed thread-track ids for the canonical span layers; layers outside
+# the table get deterministic ids after the reserved range.
+LAYER_TRACKS: Dict[str, int] = {
+    "td": 10,
+    "tdx_module": 11,
+    "hypervisor": 12,
+    "driver": 13,
+    "dma": 14,
+    "gpu.copy": 15,
+    "gpu.compute": 16,
+    "recovery": 17,
+}
+_FIRST_DYNAMIC_TID = 20
+
+# Metadata row that carries histogram metrics through export/import.
+HISTOGRAM_ROW_NAME = "repro.histograms"
 
 
 class Trace:
     """An ordered collection of trace events for one application run."""
 
-    def __init__(self, label: str = "") -> None:
+    def __init__(self, label: str = "", observability: bool = True) -> None:
         self.label = label
         self.events: List[TraceEvent] = []
+        self.spans = SpanRecorder(enabled=observability)
+        self.metrics = MetricsRegistry(enabled=observability)
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Attach the simulated-time clock used by spans and metrics."""
+        self.spans.bind_clock(clock)
+        self.metrics.bind_clock(clock)
 
     def add(self, event: TraceEvent) -> TraceEvent:
         self.events.append(event)
         return event
+
+    def span(self, name: str, layer: str, scope: str = "cpu", **attrs):
+        """Open a hierarchical span (context manager); see
+        :meth:`repro.obs.SpanRecorder.span`."""
+        return self.spans.span(name, layer, scope=scope, **attrs)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -68,19 +122,39 @@ class Trace:
 
     # -- export --------------------------------------------------------------
 
+    def _layer_tids(self) -> Dict[str, int]:
+        """Deterministic layer -> tid map (fixed table + extras)."""
+        tids = {}
+        dynamic = [
+            layer
+            for layer in self.spans.layers()
+            if layer not in LAYER_TRACKS
+        ]
+        for offset, layer in enumerate(sorted(dynamic)):
+            tids[layer] = _FIRST_DYNAMIC_TID + offset
+        for layer in self.spans.layers():
+            if layer in LAYER_TRACKS:
+                tids[layer] = LAYER_TRACKS[layer]
+        return tids
+
     def to_chrome_trace(self) -> str:
-        """Chrome tracing JSON (open in chrome://tracing or Perfetto)."""
-        rows = []
-        track = {
-            EventKind.LAUNCH: "CPU:driver",
-            EventKind.ALLOC: "CPU:api",
-            EventKind.FREE: "CPU:api",
-            EventKind.SYNC: "CPU:api",
-            EventKind.KERNEL: "GPU:compute",
-            EventKind.MEMCPY: "GPU:copy",
-            EventKind.RECOVERY: "CPU:recovery",
-        }
+        """Perfetto-grade Chrome tracing JSON.
+
+        Emits integer pid/tid plus "M"-phase process/thread name
+        metadata (loads cleanly in Perfetto, not just chrome://tracing),
+        one "X" row per event and per span (grouped on per-layer thread
+        tracks), and "C"-phase counter tracks for sampled metrics.  The
+        output is deterministic and round-trips byte-identically
+        through :func:`repro.profiler.importers.from_chrome_trace`.
+        """
+        label = self.label or "app"
+        layer_tids = self._layer_tids()
+        used_tids: Dict[int, str] = {}
+
+        event_rows = []
         for event in self.sorted_by_start():
+            tid, track = EVENT_TRACKS[event.kind]
+            used_tids[tid] = track
             args = {
                 key: (value.value if hasattr(value, "value") else value)
                 for key, value in event.attrs.items()
@@ -90,16 +164,90 @@ class Trace:
             args["queue_us"] = event.queue_ns / 1000.0
             if event.stream is not None:
                 args["stream"] = event.stream
-            rows.append(
+            event_rows.append(
                 {
                     "name": event.name,
                     "cat": event.kind.value,
                     "ph": "X",
                     "ts": event.start_ns / 1000.0,  # chrome uses us
                     "dur": event.duration_ns / 1000.0,
-                    "pid": self.label or "app",
-                    "tid": track[event.kind],
+                    "pid": TRACE_PID,
+                    "tid": tid,
                     "args": args,
                 }
             )
-        return json.dumps({"traceEvents": rows}, indent=1)
+
+        span_rows = []
+        for span in sorted(
+            self.spans, key=lambda s: (s.start_ns, s.span_id)
+        ):
+            tid = layer_tids[span.layer]
+            used_tids[tid] = f"layer:{span.layer}"
+            args = {
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "layer": span.layer,
+            }
+            if span.attrs:
+                args["attrs"] = {
+                    key: (value.value if hasattr(value, "value") else value)
+                    for key, value in span.attrs.items()
+                }
+            span_rows.append(
+                {
+                    "name": span.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": span.start_ns / 1000.0,
+                    "dur": span.duration_ns / 1000.0,
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+
+        counter_rows = []
+        for metric in self.metrics.sampled():
+            for t_ns, value in metric.series:
+                counter_rows.append(
+                    {
+                        "name": metric.name,
+                        "cat": metric.kind,
+                        "ph": "C",
+                        "ts": t_ns / 1000.0,
+                        "pid": TRACE_PID,
+                        "args": {"value": value},
+                    }
+                )
+
+        meta_rows = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "args": {"name": label},
+            }
+        ]
+        for tid in sorted(used_tids):
+            meta_rows.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": {"name": used_tids[tid]},
+                }
+            )
+        histograms = self.metrics.histograms()
+        if histograms:
+            meta_rows.append(
+                {
+                    "name": HISTOGRAM_ROW_NAME,
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "args": {h.name: list(h.values) for h in histograms},
+                }
+            )
+
+        rows = meta_rows + event_rows + span_rows + counter_rows
+        return json.dumps({"traceEvents": rows}, indent=1, sort_keys=True)

@@ -1,14 +1,17 @@
 """Flame-graph folding and rendering (paper Fig. 8).
 
-Takes the folded stacks from :class:`repro.tdx.CallStackRecorder` and
-builds an aggregated call tree with inclusive times, plus a simple
-ASCII rendering used by the Fig. 8 bench.
+Builds an aggregated call tree with inclusive times from either the
+folded stacks of :class:`repro.tdx.CallStackRecorder`
+(:func:`build_tree`) or the hierarchical span tree of
+:class:`repro.obs.SpanRecorder` (:func:`tree_from_spans`), plus a
+simple ASCII rendering used by the Fig. 8 bench and the ``repro trace``
+CLI.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 
 @dataclass
@@ -38,6 +41,63 @@ def build_tree(samples: Dict[Tuple[str, ...], int], root_name: str = "root") -> 
             node = node.child(frame)
         node.self_ns += self_ns
     return root
+
+
+def tree_from_spans(spans: Iterable, root_name: str = "root") -> FlameNode:
+    """Aggregate a span forest into a call tree.
+
+    Spans carry *inclusive* durations, so each span's self-time is its
+    duration minus the total duration of its direct children (clamped
+    at zero — retroactive child spans may model overlapping pipeline
+    stages).  Spans whose parent is not part of ``spans`` hang off the
+    root, so a filtered subtree folds cleanly.
+    """
+    spans = list(spans)
+    child_total: Dict[int, int] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_total[span.parent_id] = (
+                child_total.get(span.parent_id, 0) + span.duration_ns
+            )
+    root = FlameNode(root_name)
+    nodes: Dict[int, FlameNode] = {}
+    for span in sorted(spans, key=lambda s: s.span_id):
+        parent = nodes.get(span.parent_id, root)
+        node = parent.child(span.name)
+        nodes[span.span_id] = node
+        node.self_ns += max(
+            0, span.duration_ns - child_total.get(span.span_id, 0)
+        )
+    return root
+
+
+def folded_from_spans(spans: Iterable) -> List[Tuple[str, int]]:
+    """Folded-stacks rows (``a;b;c``, self_ns) from a span forest."""
+    spans = list(spans)
+    by_id = {s.span_id: s for s in spans}
+    child_total: Dict[int, int] = {}
+    for span in spans:
+        if span.parent_id in by_id:
+            child_total[span.parent_id] = (
+                child_total.get(span.parent_id, 0) + span.duration_ns
+            )
+
+    def path(span) -> str:
+        names: List[str] = []
+        cursor = span
+        while cursor is not None:
+            names.append(cursor.name)
+            cursor = by_id.get(cursor.parent_id)
+        return ";".join(reversed(names))
+
+    rows: Dict[str, int] = {}
+    for span in sorted(spans, key=lambda s: s.span_id):
+        self_ns = max(0, span.duration_ns - child_total.get(span.span_id, 0))
+        if self_ns <= 0:
+            continue
+        key = path(span)
+        rows[key] = rows.get(key, 0) + self_ns
+    return sorted(rows.items())
 
 
 def render_ascii(root: FlameNode, width: int = 72) -> str:

@@ -21,6 +21,7 @@ from ..config import SystemConfig
 from ..crypto import throughput as crypto_throughput
 from ..faults import HYPERCALL, FatalFault, FaultInjector
 from ..mem import BounceBufferPool, HostMemory
+from ..obs import MetricsRegistry, SpanRecorder
 from ..profiler import recovery_event
 from ..sim import Simulator
 from .callstack import CallStackRecorder
@@ -51,6 +52,17 @@ class GuestContext:
         self.stacks = CallStackRecorder()
         self.rng = np.random.default_rng(config.seed)
         self.faults = FaultInjector(config.faults, seed=config.seed, sim=sim)
+        # Observability: spans and sampled metrics live on the trace;
+        # a guest without a trace records into disabled stand-ins.
+        if trace is not None:
+            self.spans = trace.spans
+            self.metrics = trace.metrics
+        else:
+            self.spans = SpanRecorder(enabled=False)
+            self.metrics = MetricsRegistry(enabled=False)
+        self.bounce.on_usage = (
+            lambda used: self.metrics.gauge("bounce.used_bytes").set(used)
+        )
         # Primitive counters for overhead attribution.
         self.hypercall_count = 0
         self.seamcall_count = 0
@@ -66,18 +78,35 @@ class GuestContext:
         attempt: int,
         action: str = "retry",
         fatal: bool = False,
+        scope: str = "cpu",
     ) -> None:
         """Book [start_ns, now) as recovery time for ``site``.
 
         Emits a RECOVERY trace event (when a trace is attached) so the
         core/breakdown gains a distinct "recovery" component, and feeds
-        the injector ledger behind the ``faults`` CLI report.
+        the injector ledger behind the ``faults`` CLI report.  A
+        recovery *span* is recorded too, nested under whatever
+        operation span is currently open in ``scope`` — the operation
+        the fault delayed.
         """
         duration = self.sim.now - start_ns
         if self.trace is not None:
             self.trace.add(
                 recovery_event(site, start_ns, duration, attempt, action)
             )
+        self.spans.record(
+            f"recover:{site}",
+            "recovery",
+            start_ns,
+            duration,
+            scope=scope,
+            site=site,
+            attempt=attempt,
+            action=action,
+        )
+        self.metrics.counter(
+            "faults.fatal" if fatal else "faults.retries"
+        ).inc()
         self.faults.note_recovery(site, duration, fatal=fatal)
 
     # -- timing primitives -------------------------------------------------
@@ -134,6 +163,19 @@ class GuestContext:
             with self.stacks.frame("vmexit"):
                 self.stacks.record(duration)
         yield self.sim.timeout(duration)
+        start = self.sim.now - duration
+        self.metrics.counter("tdx.hypercalls").inc()
+        if self.cc:
+            parent = self.spans.record(reason, "tdx_module", start, duration)
+            self.spans.record(
+                "tdx_module.__seamcall",
+                "tdx_module",
+                start,
+                duration,
+                parent=parent,
+            )
+        else:
+            self.spans.record(reason, "hypervisor", start, duration)
         return duration
 
     def seamcall(self, reason: str = "seamcall") -> Generator:
@@ -144,6 +186,10 @@ class GuestContext:
             with self.stacks.frame(reason):
                 self.stacks.record(duration)
             yield self.sim.timeout(duration)
+            self.spans.record(
+                reason, "tdx_module", self.sim.now - duration, duration
+            )
+            self.metrics.counter("tdx.seamcalls").inc()
         return duration
 
     def accept_pages(self, num_pages: int) -> Generator:
@@ -155,6 +201,14 @@ class GuestContext:
         with self.stacks.frame("tdx_accept_page"):
             self.stacks.record(duration)
         yield self.sim.timeout(duration)
+        self.spans.record(
+            "tdh.mem.page.accept",
+            "tdx_module",
+            self.sim.now - duration,
+            duration,
+            pages=num_pages,
+        )
+        self.metrics.counter("tdx.pages_accepted").inc(num_pages)
         return duration
 
     def set_memory_decrypted(self, address: int, size: int) -> Generator:
@@ -173,6 +227,14 @@ class GuestContext:
             with self.stacks.frame("__set_memory_enc_dec"):
                 self.stacks.record(duration)
         yield self.sim.timeout(duration)
+        self.spans.record(
+            "set_memory_decrypted",
+            "td",
+            self.sim.now - duration,
+            duration,
+            pages=converted,
+        )
+        self.metrics.counter("tdx.pages_converted").inc(converted)
         return duration
 
     # -- bounce-buffer management -------------------------------------------
@@ -186,22 +248,33 @@ class GuestContext:
         just an address reservation with negligible cost.
         """
         with self.stacks.frame("dma_direct_alloc"):
-            slot = self.bounce.alloc(size)
-            try:
-                if self.cc:
-                    with self.stacks.frame("swiotlb_tbl_map_single"):
-                        self.stacks.record(500 * max(1, size // (1 << 20)))
-                    yield from self.hypercall("tdvmcall.mapgpa")
-                    num_pages = (size + self.config.tdx.page_size - 1) // self.config.tdx.page_size
-                    duration = num_pages * self.config.tdx.page_convert_ns
-                    self.pages_converted += num_pages
-                    with self.stacks.frame("set_memory_decrypted"):
-                        self.stacks.record(duration)
-                    yield self.sim.timeout(duration)
-            except BaseException:
-                # The mapping failed: the slot must not leak.
-                self.bounce.free(slot)
-                raise
+            with self.spans.span("dma_direct_alloc", "driver", bytes=size):
+                slot = self.bounce.alloc(size)
+                try:
+                    if self.cc:
+                        with self.stacks.frame("swiotlb_tbl_map_single"):
+                            self.stacks.record(500 * max(1, size // (1 << 20)))
+                        yield from self.hypercall("tdvmcall.mapgpa")
+                        num_pages = (size + self.config.tdx.page_size - 1) // self.config.tdx.page_size
+                        duration = num_pages * self.config.tdx.page_convert_ns
+                        self.pages_converted += num_pages
+                        with self.stacks.frame("set_memory_decrypted"):
+                            self.stacks.record(duration)
+                        yield self.sim.timeout(duration)
+                        self.spans.record(
+                            "set_memory_decrypted",
+                            "td",
+                            self.sim.now - duration,
+                            duration,
+                            pages=num_pages,
+                        )
+                        self.metrics.counter("tdx.pages_converted").inc(
+                            num_pages
+                        )
+                except BaseException:
+                    # The mapping failed: the slot must not leak.
+                    self.bounce.free(slot)
+                    raise
         return slot
 
     def dma_free_bounce(self, slot: int) -> None:
@@ -226,6 +299,15 @@ class GuestContext:
             with self.stacks.frame("aesni_gcm_encrypt"):
                 self.stacks.record(duration)
         yield self.sim.timeout(duration)
+        self.spans.record(
+            "aes_gcm",
+            "td",
+            self.sim.now - duration,
+            duration,
+            crypto=True,
+            bytes=size,
+        )
+        self.metrics.counter("crypto.encrypted_bytes").inc(size)
         return duration
 
     decrypt = encrypt  # AES-GCM encrypt/decrypt are symmetric in cost

@@ -72,6 +72,15 @@ _MESSAGE_BYTES = {
     KEY_EXCHANGE: 160,
     FINISH: 64,
 }
+_MESSAGE_NAMES = {
+    GET_VERSION: "get_version",
+    GET_CAPABILITIES: "get_capabilities",
+    NEGOTIATE_ALGORITHMS: "negotiate_algorithms",
+    GET_CERTIFICATE: "get_certificate",
+    CHALLENGE: "challenge",
+    KEY_EXCHANGE: "key_exchange",
+    FINISH: "finish",
+}
 
 
 @dataclass
@@ -171,26 +180,35 @@ class SpdmRequester:
         pcie_ns = units.us(2.0) + units.transfer_time_ns(
             wire_bytes, self.config.pcie.dma_h2d_bw
         )
-        # Doorbell + completion are MMIO: hypercall-mediated in a TD.
-        yield from self.guest.hypercall("spdm.doorbell")
-        yield self.sim.timeout(pcie_ns + _RESPONDER_NS[request.code])
-        self._transcript += request.to_bytes()
-        response = responder.handle(request)
-        fault = self.guest.faults.draw(SPDM_SITE)
-        if fault is not None:
-            # Corrupt the response on the wire.  Proof-carrying messages
-            # fail verification directly; any other corruption diverges
-            # the transcripts and is caught by the key schedule at
-            # FINISH — SPDM's transcript binding guarantees detection.
-            tampered = bytearray(response.payload or b"\x00")
-            tampered[-1] ^= 0xFF
-            response = SpdmMessage(response.code, bytes(tampered))
-        self._transcript += response.to_bytes()
-        yield from self.guest.cpu_work(units.us(15))  # verify/parse
+        with self.guest.spans.span(
+            f"spdm.{_MESSAGE_NAMES[request.code]}", "driver", bytes=wire_bytes
+        ):
+            # Doorbell + completion are MMIO: hypercall-mediated in a TD.
+            yield from self.guest.hypercall("spdm.doorbell")
+            yield self.sim.timeout(pcie_ns + _RESPONDER_NS[request.code])
+            self._transcript += request.to_bytes()
+            response = responder.handle(request)
+            fault = self.guest.faults.draw(SPDM_SITE)
+            if fault is not None:
+                # Corrupt the response on the wire.  Proof-carrying messages
+                # fail verification directly; any other corruption diverges
+                # the transcripts and is caught by the key schedule at
+                # FINISH — SPDM's transcript binding guarantees detection.
+                tampered = bytearray(response.payload or b"\x00")
+                tampered[-1] ^= 0xFF
+                response = SpdmMessage(response.code, bytes(tampered))
+            self._transcript += response.to_bytes()
+            yield from self.guest.cpu_work(units.us(15))  # verify/parse
+        self.guest.metrics.counter("spdm.messages").inc()
         return response
 
     def establish(self, responder: SpdmResponder) -> Generator:
         """Run the full SPDM flow; returns an :class:`SpdmSession`."""
+        with self.guest.spans.span("spdm.establish", "driver"):
+            session = yield from self._establish(responder)
+        return session
+
+    def _establish(self, responder: SpdmResponder) -> Generator:
         start = self.sim.now
         messages = 0
         for code, payload in (

@@ -1,0 +1,92 @@
+"""Tests for the metrics registry: counters, gauges, histograms,
+clock binding, and trace-import restore."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def test_counter_cumulative_series():
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    counter = reg.counter("tdx.hypercalls")
+    counter.inc()
+    clock.now = 10
+    counter.inc(4)
+    assert counter.value == 5
+    assert counter.series == [(0, 1), (10, 5)]
+    counter.inc(0)  # zero deltas are not sampled
+    assert len(counter.series) == 2
+
+
+def test_gauge_set_and_max():
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    gauge = reg.gauge("launch.queue_depth")
+    gauge.set(3)
+    clock.now = 5
+    gauge.set(1)
+    assert gauge.value == 1
+    assert gauge.max() == 3
+    assert gauge.series == [(0, 3), (5, 1)]
+
+
+def test_histogram_stats():
+    reg = MetricsRegistry()
+    hist = reg.histogram("memcpy.bytes")
+    for v in (10, 20, 30):
+        hist.observe(v)
+    assert hist.count == 3
+    assert hist.sum == 60
+    assert hist.mean() == 20.0
+    assert reg.histograms() == [hist]
+
+
+def test_create_or_get_and_kind_mismatch():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    with pytest.raises(ValueError, match="is a counter"):
+        reg.gauge("a")
+    assert "a" in reg
+    assert len(reg) == 1
+
+
+def test_disabled_registry_is_a_noop():
+    reg = MetricsRegistry(enabled=False)
+    reg.counter("c").inc()
+    reg.gauge("g").set(9)
+    reg.histogram("h").observe(1)
+    assert reg.counter("c").value == 0
+    assert reg.gauge("g").value == 0
+    assert reg.histogram("h").count == 0
+
+
+def test_unbound_clock_samples_at_zero():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    assert reg.counter("c").series == [(0, 1)]
+
+
+def test_sampled_sorted_by_name():
+    reg = MetricsRegistry()
+    reg.gauge("z").set(1)
+    reg.counter("a").inc()
+    reg.histogram("m").observe(1)  # not a sampled track
+    assert [m.name for m in reg.sampled()] == ["a", "z"]
+    assert reg.names() == ["a", "m", "z"]
+
+
+def test_import_series_and_histogram_restore():
+    reg = MetricsRegistry()
+    reg.import_series("bounce.used_bytes", "gauge", [(0, 64), (9, 0)])
+    reg.import_histogram("lat", [1.5, 2.5])
+    assert reg.gauge("bounce.used_bytes").series == [(0, 64), (9, 0)]
+    assert reg.histogram("lat").values == [1.5, 2.5]

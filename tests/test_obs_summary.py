@@ -1,0 +1,126 @@
+"""Tests for trace summarize/diff: layer tables, Sec.-V model
+components, breakdown agreement, and cross-run attribution."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.config import SystemConfig
+from repro.core.breakdown import CATEGORIES, breakdown
+from repro.core.metrics import kernel_metrics, launch_metrics
+from repro.core.model import decompose
+from repro.cuda import run_base_and_cc
+from repro.gpu import nanosleep_kernel
+from repro.obs import summary
+
+
+def _app(rt):
+    dev = yield from rt.malloc(8 * units.MiB)
+    host = yield from rt.host_alloc(8 * units.MiB)
+    yield from rt.memcpy(dev, host)
+    for _ in range(4):
+        yield from rt.launch(nanosleep_kernel(units.us(50), name="k"))
+    yield from rt.synchronize()
+    yield from rt.memcpy(host, dev)
+    yield from rt.free(dev)
+    yield from rt.free(host)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return run_base_and_cc(_app, label="obs")
+
+
+def test_summarize_component_sums_match_breakdown(traces):
+    _, cc_trace = traces
+    text = summary.summarize(cc_trace)
+    result = breakdown(cc_trace)
+    # Every breakdown row appears verbatim (same ms, same share) —
+    # summarize computes the table *with* core.breakdown, so sums
+    # match it exactly rather than approximately.
+    for category, value_ns, share in result.rows():
+        line = next(
+            l for l in text.splitlines() if l.strip().startswith(category)
+        )
+        assert f"{units.to_ms(value_ns):12.3f} ms" in line
+        assert f"{share * 100:7.1f}%" in line
+    total = sum(result.by_category_ns.get(c, 0) for c in CATEGORIES)
+    assert f"{units.to_ms(total):12.3f} ms  100.0%" in text
+
+
+def test_summarize_reports_layers_and_metrics(traces):
+    _, cc_trace = traces
+    text = summary.summarize(cc_trace)
+    for token in ("per-layer time", "Sec. V model terms", "top "):
+        assert token in text
+    for layer in ("td", "tdx_module", "driver", "dma", "gpu.compute"):
+        assert layer in text
+    assert "tdx.hypercalls" in text
+
+
+def test_model_components_match_model_sources(traces):
+    base_trace, cc_trace = traces
+    for trace in (base_trace, cc_trace):
+        comps = summary.model_components(trace)
+        deco = decompose(trace)
+        launches = launch_metrics(trace)
+        kernels = kernel_metrics(trace)
+        assert comps["T"] == deco.t_mem_ns
+        assert comps["L"] == launches.total_klo_ns
+        assert comps["Q"] == launches.total_lqt_ns + kernels.total_kqt_ns
+        assert comps["K"] == kernels.total_ket_ns
+        assert comps["D"] == deco.t_other_ns
+        assert comps["recovery"] == deco.t_recovery_ns
+
+
+def test_crypto_time_only_under_cc(traces):
+    base_trace, cc_trace = traces
+    assert summary.crypto_ns(base_trace) == 0
+    assert summary.crypto_ns(cc_trace) > 0
+
+
+def test_layer_table_busy_never_exceeds_total(traces):
+    _, cc_trace = traces
+    rows = summary.layer_table(cc_trace)
+    assert len(rows) >= 5
+    for row in rows:
+        assert 0 < row.busy_ns <= row.total_ns
+        assert row.spans > 0
+
+
+def test_diff_within_model_tolerance(traces):
+    base_trace, cc_trace = traces
+    result = summary.diff(base_trace, cc_trace, tolerance=0.01)
+    # The Sec.-V model reproduces both observed spans within 1%, so the
+    # per-component deltas are trustworthy attribution.
+    assert result.flagged == []
+    assert result.base_drift < 0.01 and result.cc_drift < 0.01
+    assert result.overhead_ns > 0
+    # CC adds encryption out of nothing and inflates memory time.
+    assert result.component("E").base_ns == 0
+    assert result.component("E").cc_ns > 0
+    assert result.component("E").ratio == float("inf")
+    assert result.component("T").delta_ns > 0
+    text = summary.render_diff(result)
+    assert "model terms within tolerance" in text
+    assert "E: software encryption" in text
+
+
+def test_diff_flags_drift_beyond_tolerance(traces):
+    base_trace, cc_trace = traces
+    result = summary.diff(base_trace, cc_trace, tolerance=0.0)
+    assert "FLAGGED" in summary.render_diff(result)
+
+
+def test_exported_trace_track_floor(traces):
+    """The ISSUE acceptance floor: >=5 layer tracks, >=4 counter tracks."""
+    _, cc_trace = traces
+    payload = json.loads(cc_trace.to_chrome_trace())
+    rows = payload["traceEvents"]
+    layer_tracks = {
+        r["args"]["layer"] for r in rows if r.get("cat") == "span"
+    }
+    counter_tracks = {r["name"] for r in rows if r["ph"] == "C"}
+    assert len(layer_tracks) >= 5
+    assert len(counter_tracks) >= 4

@@ -82,12 +82,24 @@ def test_trace_sorted_by_start():
 def test_chrome_trace_export_valid_json():
     payload = json.loads(_sample_trace().to_chrome_trace())
     events = payload["traceEvents"]
-    assert len(events) == 4
-    kernel = next(e for e in events if e["name"] == "k1")
+    x_rows = [e for e in events if e["ph"] == "X"]
+    meta_rows = [e for e in events if e["ph"] == "M"]
+    assert len(x_rows) == 4
+    kernel = next(e for e in x_rows if e["name"] == "k1")
     assert kernel["ph"] == "X"
     assert kernel["ts"] == pytest.approx(0.01)  # ns -> us
-    assert kernel["tid"] == "GPU:compute"
-    copy = next(e for e in events if e["name"].startswith("memcpy"))
+    # Perfetto needs integer pid/tid; track naming rides in "M" rows.
+    assert isinstance(kernel["pid"], int)
+    assert isinstance(kernel["tid"], int)
+    thread_names = {
+        m["args"]["name"]: m["tid"]
+        for m in meta_rows
+        if m["name"] == "thread_name"
+    }
+    assert thread_names["GPU:compute"] == kernel["tid"]
+    process = next(m for m in meta_rows if m["name"] == "process_name")
+    assert process["args"]["name"] == "sample"
+    copy = next(e for e in x_rows if e["name"].startswith("memcpy"))
     assert copy["args"]["copy_kind"] == "d2h"
 
 

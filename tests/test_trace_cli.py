@@ -1,0 +1,114 @@
+"""Tests for the ``repro trace`` CLI: export, validate, summarize,
+diff, and their error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def cc_trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "gemm_cc.json"
+    assert main(["trace", "export", "gemm", "--cc", "-o", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def base_trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "gemm_base.json"
+    assert main(["trace", "export", "gemm", "-o", str(path)]) == 0
+    return path
+
+
+def test_export_writes_perfetto_trace(cc_trace_file, capsys):
+    payload = json.loads(cc_trace_file.read_text())
+    rows = payload["traceEvents"]
+    # Spans, counters and metadata all present; integer pid/tid.
+    assert any(r.get("cat") == "span" for r in rows)
+    assert any(r["ph"] == "C" for r in rows)
+    assert any(r["ph"] == "M" and r["name"] == "process_name" for r in rows)
+    assert all(isinstance(r["pid"], int) for r in rows)
+    # Counter ("C") rows are per-process; every slice row needs a tid.
+    assert all(
+        isinstance(r["tid"], int) for r in rows if r["ph"] == "X"
+    )
+
+
+def test_export_reports_counts(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    assert main(["trace", "export", "gemm", "--cc", "-o", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "gemm|cc" in out
+    assert "spans" in out and "metrics" in out
+
+
+def test_validate_accepts_own_export(cc_trace_file, capsys):
+    assert main(["trace", "validate", str(cc_trace_file)]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_validate_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": [{"ph": "X", "name": 3}]}')
+    assert main(["trace", "validate", str(bad)]) == 1
+    assert "schema violation" in capsys.readouterr().err
+
+
+def test_summarize_from_file(cc_trace_file, capsys):
+    assert main(["trace", "summarize", "--input", str(cc_trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "per-layer time" in out
+    assert "wall-clock attribution" in out
+    assert "Sec. V model terms" in out
+
+
+def test_summarize_by_running_app(capsys):
+    assert main(["trace", "summarize", "gemm", "--cc", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "top 3 spans" in out
+
+
+def test_summarize_requires_app_or_input():
+    with pytest.raises(SystemExit, match="APP or --input"):
+        main(["trace", "summarize"])
+
+
+def test_diff_from_files(base_trace_file, cc_trace_file, capsys):
+    code = main([
+        "trace", "diff",
+        "--base", str(base_trace_file),
+        "--cc-trace", str(cc_trace_file),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0  # model drift within the default 1%
+    assert "E: software encryption" in out
+    assert "model terms within tolerance" in out
+
+
+def test_diff_by_running_app(capsys):
+    assert main(["trace", "diff", "gemm"]) == 0
+    out = capsys.readouterr().out
+    assert "diff gemm|base -> gemm|cc" in out
+
+
+def test_diff_flags_exit_nonzero(base_trace_file, cc_trace_file, capsys):
+    code = main([
+        "trace", "diff",
+        "--base", str(base_trace_file),
+        "--cc-trace", str(cc_trace_file),
+        "--tolerance", "0",
+    ])
+    assert code == 1
+    assert "FLAGGED" in capsys.readouterr().out
+
+
+def test_diff_requires_both_files(base_trace_file):
+    with pytest.raises(SystemExit, match="together"):
+        main(["trace", "diff", "--base", str(base_trace_file)])
+
+
+def test_diff_requires_app_or_files():
+    with pytest.raises(SystemExit, match="APP or --base"):
+        main(["trace", "diff"])

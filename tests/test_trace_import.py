@@ -8,7 +8,15 @@ from repro.config import CopyKind, SystemConfig
 from repro.core import decompose, launch_metrics, kernel_metrics
 from repro.cuda import run_app
 from repro.gpu import nanosleep_kernel
-from repro.profiler import from_chrome_trace, from_rows, load_chrome_trace
+from repro.profiler import (
+    Trace,
+    TraceImportError,
+    from_chrome_trace,
+    from_rows,
+    kernel_event,
+    load_chrome_trace,
+    recovery_event,
+)
 from repro.profiler.importers import ImportError_
 from repro import units
 
@@ -52,6 +60,65 @@ def test_memcpy_enums_revived():
     clone = from_chrome_trace(trace.to_chrome_trace())
     copy = clone.memcpys()[0]
     assert copy.attrs["copy_kind"] is CopyKind.H2D
+
+
+def test_roundtrip_is_byte_identical():
+    """Export -> import -> export reproduces the same bytes, both modes."""
+    for config in (SystemConfig.base(), SystemConfig.confidential()):
+        trace, _ = run_app(_app, config, label="rt")
+        text = trace.to_chrome_trace()
+        again = from_chrome_trace(text).to_chrome_trace()
+        assert again == text
+
+
+def test_roundtrip_preserves_recovery_queue_and_stream():
+    trace = Trace(label="faulty")
+    trace.add(kernel_event("k", 10, 100, kqt_ns=7, stream=3))
+    trace.add(recovery_event("crypto.gcm_tag", 120, 40, attempt=2,
+                             action="retry"))
+    clone = from_chrome_trace(trace.to_chrome_trace())
+    kernel = clone.kernels()[0]
+    assert kernel.queue_ns == 7
+    assert kernel.stream == 3
+    (recovery,) = clone.recoveries()
+    assert recovery.name == "recover:crypto.gcm_tag"
+    assert recovery.start_ns == 120 and recovery.duration_ns == 40
+    assert recovery.attrs["attempt"] == 2
+    assert recovery.attrs["action"] == "retry"
+    assert clone.recovery_ns() == trace.recovery_ns() == 40
+
+
+def test_roundtrip_preserves_spans():
+    trace, _ = run_app(_app, SystemConfig.confidential())
+    clone = from_chrome_trace(trace.to_chrome_trace())
+    assert len(clone.spans) == len(trace.spans)
+    for original, revived in zip(trace.spans, clone.spans):
+        assert revived.span_id == original.span_id
+        assert revived.parent_id == original.parent_id
+        assert revived.name == original.name
+        assert revived.layer == original.layer
+        assert revived.start_ns == original.start_ns
+        assert revived.duration_ns == original.duration_ns
+    assert clone.spans.layer_busy_ns() == trace.spans.layer_busy_ns()
+
+
+def test_roundtrip_preserves_counters_and_gauges():
+    trace, _ = run_app(_app, SystemConfig.confidential())
+    clone = from_chrome_trace(trace.to_chrome_trace())
+    assert clone.metrics.names() == trace.metrics.names()
+    for original, revived in zip(
+        trace.metrics.sampled(), clone.metrics.sampled()
+    ):
+        assert revived.kind == original.kind
+        assert revived.series == original.series
+    assert clone.metrics.counter("tdx.hypercalls").value > 0
+
+
+def test_import_error_rename_keeps_deprecated_alias():
+    assert ImportError_ is TraceImportError
+    assert issubclass(TraceImportError, ValueError)
+    with pytest.raises(TraceImportError):
+        from_chrome_trace("{nope")
 
 
 def test_load_from_file(tmp_path):
