@@ -7,6 +7,12 @@ apps
 run APP [--cc] [--uvm] [--teeio] [--seed N] [--fault-plan P.json]
         [--fault-rate R] [--trace OUT.json]
     Run one app and print its metric/model dissection.
+run --figures fig04,fig05,... | --all [--jobs N] [--force]
+        [--no-cache] [--assert-cached] [--out DIR] [--cache-dir DIR]
+    Run the figure/workload grid through the parallel experiment
+    harness (repro.exec): unchanged cells come from the
+    content-addressed cache under DIR/.cache, edited figures
+    re-simulate across N worker processes.
 figures [ID ...] [--out DIR]
     Regenerate paper figures (default: the fast ones) into DIR.
 bandwidth [--sizes N ...]
@@ -84,7 +90,57 @@ def cmd_apps(_args) -> int:
     return 0
 
 
+def _cmd_run_grid(args) -> int:
+    """``repro run --figures .../--all``: the parallel harness path."""
+    from .exec import runner as exec_runner
+
+    tokens = [
+        token
+        for chunk in (args.figures or [])
+        for token in chunk.split(",")
+        if token
+    ]
+    try:
+        cells = exec_runner.resolve_cells(tokens)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.all:
+        cells += [
+            cell_id
+            for cell_id in exec_runner.default_cells(include_slow=True)
+            if cell_id not in cells
+        ]
+    report = exec_runner.run_grid(
+        cells,
+        jobs=max(1, args.jobs),
+        results_dir=args.out,
+        cache_dir=args.cache_dir or None,
+        force=args.force,
+        use_cache=not args.no_cache,
+    )
+    print(report.render())
+    if args.assert_cached and not report.all_cached():
+        print(
+            f"error: expected 100% cache hits, got "
+            f"{report.stats.hits}/{len(report.outcomes)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if report.ok else 1
+
+
 def cmd_run(args) -> int:
+    if args.figures or args.all:
+        if args.app:
+            raise SystemExit(
+                "repro run takes either APP or --figures/--all, not both"
+            )
+        return _cmd_run_grid(args)
+    if not args.app:
+        raise SystemExit(
+            "repro run needs an APP (see `repro apps`), or "
+            "--figures/--all for the experiment grid"
+        )
     info = CATALOG[args.app]
     config = _config(args)
     machine = Machine(config, label=args.app)
@@ -223,7 +279,10 @@ def _apply_overrides(config: SystemConfig, settings: List[str]) -> SystemConfig:
         else:
             value = {"true": True, "false": False}.get(raw.lower(), raw)
         if len(parts) == 1:
-            config = config.replace(**{parts[0]: value})
+            try:
+                config = config.replace(**{parts[0]: value})
+            except (TypeError, ValueError) as exc:
+                raise SystemExit(f"--set {setting!r}: {exc}")
             continue
         if len(parts) != 2:
             raise SystemExit(f"--set supports section.field paths, got {path!r}")
@@ -231,9 +290,15 @@ def _apply_overrides(config: SystemConfig, settings: List[str]) -> SystemConfig:
         section = getattr(config, section_name, None)
         if section is None or not hasattr(section, field_name):
             raise SystemExit(f"unknown config field {path!r}")
-        config = config.replace(
-            **{section_name: dataclasses.replace(section, **{field_name: value})}
-        )
+        try:
+            config = config.replace(
+                **{section_name: dataclasses.replace(section, **{field_name: value})}
+            )
+        except (TypeError, ValueError) as exc:
+            # e.g. --set retry.backoff_factor=0.5: validated dataclasses
+            # (RetryPolicy & co) raise in __post_init__; surface that as
+            # a CLI argument error instead of a traceback.
+            raise SystemExit(f"--set {setting!r}: {exc}")
     return config
 
 
@@ -418,14 +483,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("apps", help="list the workload catalogue")
 
-    run_p = sub.add_parser("run", help="run one app and dissect it")
-    run_p.add_argument("app", choices=sorted(CATALOG))
+    run_p = sub.add_parser(
+        "run", help="run one app and dissect it, or run the figure grid"
+    )
+    run_p.add_argument("app", nargs="?", choices=sorted(CATALOG))
     run_p.add_argument("--cc", action="store_true")
     run_p.add_argument("--uvm", action="store_true")
     run_p.add_argument("--teeio", action="store_true",
                        help="enable the TEE-IO what-if (with --cc)")
     run_p.add_argument("--trace", default="", help="chrome-trace output path")
     _add_fault_args(run_p)
+    grid_group = run_p.add_argument_group(
+        "experiment grid (repro.exec)",
+        "fan figure cells out over worker processes with result caching",
+    )
+    grid_group.add_argument(
+        "--figures", action="append", metavar="ID[,ID...]", default=None,
+        help="grid cells to run (prefixes expand: fig04 -> fig04a,fig04b)",
+    )
+    grid_group.add_argument(
+        "--all", action="store_true",
+        help="run every grid cell, slow figures and extensions included",
+    )
+    grid_group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cache misses (default 1 = in-process)",
+    )
+    grid_group.add_argument(
+        "--force", action="store_true",
+        help="re-simulate every cell, refreshing its cache entry",
+    )
+    grid_group.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely (no reads, no writes)",
+    )
+    grid_group.add_argument(
+        "--assert-cached", action="store_true",
+        help="exit nonzero unless every cell was a cache hit",
+    )
+    grid_group.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="results directory (default: results)",
+    )
+    grid_group.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="cache location (default: DIR_OUT/.cache)",
+    )
 
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument("ids", nargs="*",

@@ -1,0 +1,59 @@
+"""Experiment orchestrator: parallel figure grid + result cache.
+
+``repro.exec`` turns the paper's figure/workload/config grid into a
+cache-aware, process-parallel sweep:
+
+- :mod:`repro.exec.fingerprint` — cache-key ingredients (calibration
+  hash, resolved SystemConfig hash, per-figure code fingerprint);
+- :mod:`repro.exec.cache` — content-addressed store under
+  ``results/.cache/``;
+- :mod:`repro.exec.runner` — the grid registry, worker entry point,
+  and ``run_grid`` orchestration.
+
+See ``docs/architecture.md`` (Execution harness) for the design.
+"""
+
+from .cache import CacheStats, ResultCache, default_cache_dir, entry_key
+from .fingerprint import (
+    calibration_hash,
+    cell_fingerprint,
+    config_hash,
+    grid_config_hash,
+    package_fingerprint,
+)
+from .runner import (
+    GRID,
+    CellOutcome,
+    CellSpec,
+    GridReport,
+    cell_cache_key,
+    cell_for_generator,
+    default_cells,
+    execute_cell,
+    payload_to_result,
+    resolve_cells,
+    run_grid,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "entry_key",
+    "calibration_hash",
+    "cell_fingerprint",
+    "config_hash",
+    "grid_config_hash",
+    "package_fingerprint",
+    "GRID",
+    "CellOutcome",
+    "CellSpec",
+    "GridReport",
+    "cell_cache_key",
+    "cell_for_generator",
+    "default_cells",
+    "execute_cell",
+    "payload_to_result",
+    "resolve_cells",
+    "run_grid",
+]

@@ -1,0 +1,132 @@
+"""Content-addressed result cache for the experiment harness.
+
+Entries live under ``results/.cache/`` as one JSON file per key; the
+key is the SHA-256 over every ingredient that determines a cell's
+payload (see :mod:`repro.exec.fingerprint`), so a cache *file* is
+immutable — a change anywhere in the inputs produces a different key,
+never an overwrite of a live entry.  Each entry stores the figure
+payload exactly as the serial path writes it (``FigureResult.to_json``
+/ ``to_text`` strings), which is what lets a warm run reproduce
+byte-identical ``results/`` files without re-simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+ENTRY_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one harness invocation."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evicted_corrupt: List[str] = field(default_factory=list)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def entry_key(ingredients: Dict[str, Any]) -> str:
+    """Content address: SHA-256 of the canonical ingredient mapping."""
+    blob = json.dumps(ingredients, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Keyed store of figure payloads under one cache directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored entry, or None on miss.  A corrupt or truncated
+        entry file counts as a miss (and is remembered in the stats) —
+        never as an error and never as stale data."""
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            self.stats.evicted_corrupt.append(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != ENTRY_VERSION
+            or "payload_json" not in entry
+            or "payload_text" not in entry
+        ):
+            self.stats.misses += 1
+            self.stats.evicted_corrupt.append(path)
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, entry: Dict[str, Any]) -> str:
+        """Atomically persist an entry (write-temp-then-rename so a
+        crashed worker can never leave a half-written entry behind)."""
+        os.makedirs(self.root, exist_ok=True)
+        entry = {"version": ENTRY_VERSION, "key": key, **entry}
+        path = self.path_for(key)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:12]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, indent=1)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(
+            1
+            for name in os.listdir(self.root)
+            if name.endswith(".json") and not name.startswith(".")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for name in os.listdir(self.root):
+            if name.endswith(".json") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def default_cache_dir(results_dir: str) -> str:
+    return os.path.join(results_dir, ".cache")

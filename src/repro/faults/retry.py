@@ -22,6 +22,13 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     backoff_cap_ns: int = units.ms(2.0)
 
+    def __post_init__(self) -> None:
+        # Fail at construction time: a policy built from CLI flags or
+        # dataclasses.replace must not survive long enough to blow up
+        # deep inside a recovery loop (e.g. backoff_factor=0.5 turning
+        # exponential backoff into exponential *decay*).
+        self.validate()
+
     def backoff_ns(self, attempt: int) -> int:
         """Backoff before retry number ``attempt`` (1-based)."""
         if attempt < 1:

@@ -9,7 +9,7 @@ from ..config import SystemConfig
 from ..core import CATEGORIES, breakdown
 from ..cuda import run_app
 from ..workloads import CATALOG
-from .common import FigureResult
+from .common import FigureResult, dispatch
 
 DEFAULT_APP = "hotspot"
 
@@ -63,3 +63,9 @@ def generate(app_name: str = DEFAULT_APP) -> FigureResult:
         spans["cc-on-uvm"] / spans["cc-on"],
     )
     return figure
+VARIANTS = {"": generate}
+
+
+def run(config=None):
+    """Uniform harness entry point (see :mod:`repro.exec`)."""
+    return dispatch(VARIANTS, config, __name__)

@@ -15,7 +15,7 @@ from ..config import CopyKind, SystemConfig
 from ..core import copy_time_by_kind
 from ..cuda import run_app
 from ..workloads import CATALOG, FIG5_APPS
-from .common import FigureResult
+from .common import FigureResult, dispatch
 
 
 def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
@@ -70,3 +70,9 @@ def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
         min(values),
     )
     return figure
+VARIANTS = {"": generate}
+
+
+def run(config=None):
+    """Uniform harness entry point (see :mod:`repro.exec`)."""
+    return dispatch(VARIANTS, config, __name__)

@@ -11,7 +11,7 @@ from .. import units
 from ..calibration import PAPER
 from ..config import SystemConfig
 from ..cuda import run_app
-from .common import FigureResult
+from .common import FigureResult, dispatch
 
 DEFAULT_SIZES = (4 * units.MiB, 16 * units.MiB, 64 * units.MiB, 256 * units.MiB)
 
@@ -121,3 +121,9 @@ def generate(sizes: Sequence[int] = DEFAULT_SIZES) -> FigureResult:
         uvm_vs_base["cc_uvm_free"],
     )
     return figure
+VARIANTS = {"": generate}
+
+
+def run(config=None):
+    """Uniform harness entry point (see :mod:`repro.exec`)."""
+    return dispatch(VARIANTS, config, __name__)

@@ -15,7 +15,7 @@ from ..config import SystemConfig
 from ..core import kernel_metrics, launch_metrics
 from ..cuda import run_app
 from ..workloads import CATALOG, FIG7_APPS
-from .common import FigureResult
+from .common import FigureResult, dispatch
 
 
 def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
@@ -86,3 +86,9 @@ def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
         float(np.mean(kqt_ratios)),
     )
     return figure
+VARIANTS = {"": generate}
+
+
+def run(config=None):
+    """Uniform harness entry point (see :mod:`repro.exec`)."""
+    return dispatch(VARIANTS, config, __name__)

@@ -13,7 +13,7 @@ from ..config import SystemConfig
 from ..core import kernel_metrics
 from ..cuda import run_app
 from ..workloads import CATALOG, FIG9_APPS
-from .common import FigureResult
+from .common import FigureResult, dispatch
 
 
 def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
@@ -79,3 +79,9 @@ def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
         min(uvm_cc),
     )
     return figure
+VARIANTS = {"": generate}
+
+
+def run(config=None):
+    """Uniform harness entry point (see :mod:`repro.exec`)."""
+    return dispatch(VARIANTS, config, __name__)

@@ -19,7 +19,7 @@ from ..core import kernel_to_launch_ratio
 from ..cuda import run_app
 from ..profiler import EventKind
 from ..workloads import CATALOG, FIG10_APPS
-from .common import FigureResult
+from .common import FigureResult, dispatch
 
 SAMPLE_EVENTS_PER_TRACE = 40
 TIMELINE_BINS = 10
@@ -84,3 +84,9 @@ def generate(apps: Optional[Dict[str, str]] = None) -> FigureResult:
             "KLR panel B > panel D", 1.0, float(klrs["B"] > klrs["D"])
         )
     return figure
+VARIANTS = {"": generate}
+
+
+def run(config=None):
+    """Uniform harness entry point (see :mod:`repro.exec`)."""
+    return dispatch(VARIANTS, config, __name__)

@@ -11,7 +11,7 @@ import numpy as np
 from ..calibration import PAPER
 from ..config import SystemConfig
 from ..dnn import MODELS, train
-from .common import FigureResult
+from .common import FigureResult, dispatch
 
 # (batch, precision) panels shown in the paper's Fig. 13.
 PANELS = (
@@ -159,3 +159,9 @@ def generate(model_names: Optional[Sequence[str]] = None) -> FigureResult:
                           PAPER["cnn.fp16_b1024_time_drop_max"].value,
                           100 * float(np.max(fp16_drop)))
     return figure
+VARIANTS = {"": generate}
+
+
+def run(config=None):
+    """Uniform harness entry point (see :mod:`repro.exec`)."""
+    return dispatch(VARIANTS, config, __name__)

@@ -12,7 +12,7 @@ import glob
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -24,23 +24,52 @@ class ComparisonRow:
 
     @property
     def relative_error(self) -> Optional[float]:
+        """Relative error vs the paper, or None when the paper value is
+        zero — such rows still surface in the report (``n/a`` bucket)
+        rather than disappearing from the accuracy histogram."""
         if self.paper == 0:
             return None
         return abs(self.measured - self.paper) / abs(self.paper)
 
 
-def load_results(results_dir: str) -> List[Dict]:
-    """All figure payloads saved under a results directory."""
-    payloads = []
+@dataclass(frozen=True)
+class SkippedResult:
+    """A results file the report could not use, and why."""
+
+    path: str
+    reason: str
+
+
+def scan_results(results_dir: str) -> Tuple[List[Dict], List[SkippedResult]]:
+    """Figure payloads under a results directory, plus every file that
+    had to be skipped.
+
+    A truncated or unreadable JSON file must not make its figure vanish
+    silently from the report — the caller gets the skip list and is
+    expected to show it.
+    """
+    payloads: List[Dict] = []
+    skipped: List[SkippedResult] = []
     for path in sorted(glob.glob(os.path.join(results_dir, "*.json"))):
         try:
             with open(path) as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError as exc:
+            skipped.append(SkippedResult(path, f"unreadable: {exc}"))
+            continue
+        except json.JSONDecodeError as exc:
+            skipped.append(SkippedResult(path, f"corrupt JSON: {exc}"))
             continue
         if isinstance(payload, dict) and "figure_id" in payload:
             payloads.append(payload)
-    return payloads
+        else:
+            skipped.append(SkippedResult(path, "not a figure payload"))
+    return payloads, skipped
+
+
+def load_results(results_dir: str) -> List[Dict]:
+    """All figure payloads saved under a results directory."""
+    return scan_results(results_dir)[0]
 
 
 def comparison_rows(results_dir: str) -> List[ComparisonRow]:
@@ -80,11 +109,34 @@ def accuracy_histogram(rows: List[ComparisonRow]) -> Dict[str, int]:
 
 def render(results_dir: str) -> str:
     """The full report as text (markdown-ish table)."""
-    rows = comparison_rows(results_dir)
+    payloads, skipped = scan_results(results_dir)
+    rows = []
+    for payload in payloads:
+        for item in payload.get("comparisons", []):
+            rows.append(
+                ComparisonRow(
+                    payload["figure_id"],
+                    item["metric"],
+                    float(item["paper"]),
+                    float(item["measured"]),
+                )
+            )
+    skip_lines = []
+    if skipped:
+        skip_lines.append("")
+        skip_lines.append(
+            f"WARNING: skipped {len(skipped)} unusable result file(s):"
+        )
+        for item in skipped:
+            skip_lines.append(f"  {item.path}: {item.reason}")
     if not rows:
-        return (
-            f"no results under {results_dir!r} — run "
-            "`pytest benchmarks/ --benchmark-only` first"
+        return "\n".join(
+            [
+                f"no results under {results_dir!r} — run "
+                "`repro run --all` or `pytest benchmarks/ "
+                "--benchmark-only` first"
+            ]
+            + skip_lines
         )
     lines = [
         f"Reproduction report — {len(rows)} paper-vs-measured comparisons",
@@ -104,4 +156,5 @@ def render(results_dir: str) -> str:
     for bucket, count in accuracy_histogram(rows).items():
         bar = "#" * count
         lines.append(f"  {bucket:>6}: {count:3d} {bar}")
+    lines.extend(skip_lines)
     return "\n".join(lines)

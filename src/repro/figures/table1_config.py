@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from .. import units
 from ..config import SystemConfig
-from .common import FigureResult
+from .common import FigureResult, dispatch
 
 
 def generate() -> FigureResult:
@@ -37,3 +37,9 @@ def generate() -> FigureResult:
         columns=("component", "configuration"),
         rows=rows,
     )
+VARIANTS = {"": generate}
+
+
+def run(config=None):
+    """Uniform harness entry point (see :mod:`repro.exec`)."""
+    return dispatch(VARIANTS, config, __name__)

@@ -68,15 +68,30 @@ KB = 1_000
 def transfer_time_ns(size_bytes: int, bandwidth_bytes_per_sec: float) -> int:
     """Time to move ``size_bytes`` at ``bandwidth_bytes_per_sec``.
 
-    Always at least 1 ns for a non-empty transfer so that events retain
-    strict ordering.
+    Computed in exact integer arithmetic: the bandwidth float is taken
+    as the rational it exactly represents (``as_integer_ratio``), so the
+    result is correct to the nanosecond even when ``size * NS_PER_SEC``
+    exceeds 2**53 — where the old float expression silently lost
+    integer-ns precision for large model-load / KV-cache transfers.
+    Rounding is round-half-to-even, matching what ``round()`` did on
+    the float path.  Always at least 1 ns for a non-empty transfer so
+    that events retain strict ordering.
     """
     if size_bytes <= 0:
         return 0
-    if bandwidth_bytes_per_sec <= 0:
+    if not bandwidth_bytes_per_sec > 0:  # also rejects NaN
         raise ValueError("bandwidth must be positive")
-    t = int(round(size_bytes / bandwidth_bytes_per_sec * NS_PER_SEC))
-    return max(t, 1)
+    try:
+        num, den = bandwidth_bytes_per_sec.as_integer_ratio()
+    except (OverflowError, ValueError):
+        raise ValueError("bandwidth must be finite") from None
+    # t = size * NS_PER_SEC / (num/den), rounded half-to-even.
+    numerator = size_bytes * NS_PER_SEC * den
+    quotient, remainder = divmod(numerator, num)
+    twice = remainder * 2
+    if twice > num or (twice == num and quotient % 2 == 1):
+        quotient += 1
+    return max(quotient, 1)
 
 
 def bandwidth_gb_per_sec(size_bytes: int, duration_ns: int) -> float:

@@ -11,6 +11,8 @@ Covers the contract promised in ``repro.faults``:
 * SPDM re-attestation and the genuine-failure-is-not-retried rule.
 """
 
+import dataclasses
+
 import pytest
 
 from repro import units
@@ -433,3 +435,16 @@ def test_spdm_genuine_policy_failure_is_not_retried():
     with pytest.raises(SpdmError, match="policy"):
         machine.sim.run(until=process)
     assert machine.guest.faults.retries == {}
+
+
+def test_retry_policy_validates_at_construction():
+    # An invalid policy must fail when built (e.g. from CLI flags), not
+    # deep inside a recovery loop.
+    with pytest.raises(ValueError, match="backoff_factor"):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="non-negative"):
+        RetryPolicy(backoff_base_ns=-1)
+    with pytest.raises(ValueError):
+        dataclasses.replace(RetryPolicy(), backoff_factor=0.0)

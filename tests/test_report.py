@@ -83,3 +83,50 @@ def test_cli_report(tmp_path, capsys):
     )
     assert main(["report", "--dir", str(tmp_path)]) == 0
     assert "1 paper-vs-measured" in capsys.readouterr().out
+
+
+def test_scan_results_collects_skipped(tmp_path):
+    from repro.figures.report import scan_results
+
+    _write_result(
+        tmp_path, "fig_ok",
+        [{"metric": "m", "paper": 1.0, "measured": 1.0}],
+    )
+    (tmp_path / "broken.json").write_text('{"figure_id": "fig_trunc"')
+    (tmp_path / "list.json").write_text("[1, 2]")
+    payloads, skipped = scan_results(str(tmp_path))
+    assert [p["figure_id"] for p in payloads] == ["fig_ok"]
+    reasons = {item.path.rsplit("/", 1)[-1]: item.reason for item in skipped}
+    assert "corrupt JSON" in reasons["broken.json"]
+    assert reasons["list.json"] == "not a figure payload"
+
+
+def test_render_warns_about_skipped_files(tmp_path):
+    _write_result(
+        tmp_path, "fig_ok",
+        [{"metric": "m", "paper": 1.0, "measured": 1.0}],
+    )
+    (tmp_path / "broken.json").write_text("{not json")
+    text = render(str(tmp_path))
+    assert "WARNING: skipped 1 unusable result file(s)" in text
+    assert "broken.json" in text
+
+
+def test_render_warns_even_with_no_usable_results(tmp_path):
+    (tmp_path / "broken.json").write_text("{not json")
+    text = render(str(tmp_path))
+    assert "no results" in text
+    assert "broken.json" in text
+
+
+def test_paper_zero_rows_surface_in_report(tmp_path):
+    _write_result(
+        tmp_path, "fig_zero",
+        [{"metric": "zero-baseline metric", "paper": 0.0, "measured": 0.7}],
+    )
+    rows = comparison_rows(str(tmp_path))
+    assert len(rows) == 1 and rows[0].relative_error is None
+    assert accuracy_histogram(rows)["n/a"] == 1
+    text = render(str(tmp_path))
+    assert "zero-baseline metric" in text
+    assert "n/a" in text

@@ -43,3 +43,35 @@ def test_pages_rounds_up():
     assert units.pages(1, 4096) == 1
     assert units.pages(4096, 4096) == 1
     assert units.pages(4097, 4096) == 2
+
+
+def test_transfer_time_integer_precision_above_2_53():
+    # 10 GB at 3 B/s: size * NS_PER_SEC = 1e19 > 2**53, where the old
+    # float expression lost integer-ns precision (it returned
+    # ...3333504 instead of the exact ...3333333).
+    exact = units.transfer_time_ns(10**10, 3.0)
+    assert exact == 3_333_333_333_333_333_333
+    assert exact != int(round(10**10 / 3.0 * units.NS_PER_SEC))
+
+
+def test_transfer_time_exact_at_large_power_of_two():
+    # Exactly divisible cases stay exact however large the product.
+    assert units.transfer_time_ns(2**60, 2.0) == 2**59 * units.NS_PER_SEC
+
+
+def test_transfer_time_integer_bandwidth():
+    assert units.transfer_time_ns(units.GB, units.GB) == units.sec(1)
+
+
+def test_transfer_time_half_rounding_matches_round():
+    # 3 bytes at 2e9 B/s = 1.5 ns -> round-half-to-even -> 2 ns.
+    assert units.transfer_time_ns(3, 2 * units.GB) == 2
+    # 1 byte at 2e9 B/s = 0.5 ns -> 0, clamped to the 1 ns floor.
+    assert units.transfer_time_ns(1, 2 * units.GB) == 1
+
+
+def test_transfer_time_rejects_non_finite_bandwidth():
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(100, float("inf"))
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(100, float("nan"))
