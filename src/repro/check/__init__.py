@@ -1,0 +1,49 @@
+"""Regression gating: golden snapshots, paper-accuracy scoring, and
+perf budgets (``repro check golden|accuracy|perf``).
+
+Each gate returns a typed exit code so CI can gate on each
+independently:
+
+===========================  =====  ==============================================
+verdict                      exit   meaning
+===========================  =====  ==============================================
+``OK``                       0      gate passed
+``ACCURACY_DRIFT``           3      a figure's reproduction error breached its
+                                    per-figure threshold (or the paper-target
+                                    table is out of sync with a figure module)
+``GOLDEN_DRIFT``             4      a result payload no longer matches its
+                                    committed golden snapshot in
+                                    ``results/golden/``
+``PERF_REGRESSION``          5      harness wall-clock exceeded the committed
+                                    ``BENCH_baseline.json`` tolerance band
+===========================  =====  ==============================================
+
+Exit codes 1 and 2 keep their conventional meanings (unexpected error,
+argparse usage error), so a gate verdict is never conflated with a
+crash.  See docs/architecture.md §10 for the gating model and how to
+refresh goldens/baselines legitimately.
+"""
+
+from __future__ import annotations
+
+EXIT_OK = 0
+EXIT_ACCURACY_DRIFT = 3
+EXIT_GOLDEN_DRIFT = 4
+EXIT_PERF_REGRESSION = 5
+
+#: verdict-name <-> exit-code table, stamped into machine-readable
+#: verdict files so CI scripts never hard-code the numbers.
+VERDICTS = {
+    "OK": EXIT_OK,
+    "ACCURACY_DRIFT": EXIT_ACCURACY_DRIFT,
+    "GOLDEN_DRIFT": EXIT_GOLDEN_DRIFT,
+    "PERF_REGRESSION": EXIT_PERF_REGRESSION,
+}
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_ACCURACY_DRIFT",
+    "EXIT_GOLDEN_DRIFT",
+    "EXIT_PERF_REGRESSION",
+    "VERDICTS",
+]

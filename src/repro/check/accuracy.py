@@ -1,0 +1,220 @@
+"""Paper-accuracy gate: ``repro check accuracy``.
+
+Scores how faithfully each figure reproduces the paper's reported
+numbers.  Every figure payload carries its paper-vs-measured
+comparison rows; this gate re-derives the relative error of each
+*quantitative* metric against the canonical target table
+(:mod:`repro.check.paper_targets`), aggregates per figure (worst-case
+and geomean), and fails with ``ACCURACY_DRIFT`` (exit 3) when any
+figure's worst-case error breaches its per-figure threshold — or when
+a payload's embedded paper value disagrees with the table, which means
+a figure module and the gate have drifted apart.
+
+Qualitative targets (direction predicates like "ratio > 1") are
+excluded from error scoring; the golden gate pins their exact values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from . import EXIT_ACCURACY_DRIFT, EXIT_OK
+from .gate import PayloadSet, collect_payloads
+from .paper_targets import target_for, threshold_for
+
+
+@dataclass
+class MetricScore:
+    """Reproduction error of one quantitative figure metric."""
+
+    figure_id: str
+    metric: str
+    paper: float
+    measured: float
+    rel_err_pct: float
+
+    @classmethod
+    def from_values(
+        cls, figure_id: str, metric: str, paper: float, measured: float
+    ) -> "MetricScore":
+        scale = abs(paper)
+        if scale == 0 or math.isnan(measured) or math.isinf(measured):
+            err = math.inf if measured != paper else 0.0
+        else:
+            err = 100.0 * abs(measured - paper) / scale
+        return cls(figure_id, metric, paper, measured, err)
+
+
+@dataclass
+class FigureScore:
+    """Accuracy aggregate for one figure."""
+
+    figure_id: str
+    scores: List[MetricScore] = field(default_factory=list)
+    qualitative: int = 0
+    unregistered: List[str] = field(default_factory=list)
+    table_mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def threshold_pct(self) -> float:
+        return threshold_for(self.figure_id)
+
+    @property
+    def worst_pct(self) -> float:
+        return max((s.rel_err_pct for s in self.scores), default=0.0)
+
+    @property
+    def geomean_pct(self) -> float:
+        """Geometric mean of per-metric errors (floored at 0.01% so a
+        perfect metric doesn't zero the product)."""
+        if not self.scores:
+            return 0.0
+        logs = [math.log(max(s.rel_err_pct, 0.01)) for s in self.scores]
+        return math.exp(sum(logs) / len(logs))
+
+    @property
+    def breached(self) -> bool:
+        return (
+            self.worst_pct > self.threshold_pct
+            or bool(self.unregistered)
+            or bool(self.table_mismatches)
+        )
+
+
+def score_payload(figure_id: str, payload: dict) -> FigureScore:
+    """Score one figure payload's comparison rows against the table."""
+    figure_score = FigureScore(figure_id=figure_id)
+    for item in payload.get("comparisons", []):
+        metric = item["metric"]
+        target = target_for(figure_id, metric)
+        if target is None:
+            figure_score.unregistered.append(metric)
+            continue
+        embedded = float(item["paper"])
+        if not math.isclose(embedded, target.value, rel_tol=1e-12, abs_tol=0.0):
+            figure_score.table_mismatches.append(
+                f"{metric}: payload embeds paper={embedded!r}, "
+                f"table says {target.value!r}"
+            )
+            continue
+        if target.qualitative:
+            figure_score.qualitative += 1
+            continue
+        figure_score.scores.append(
+            MetricScore.from_values(
+                figure_id, metric, target.value, float(item["measured"])
+            )
+        )
+    return figure_score
+
+
+@dataclass
+class AccuracyReport:
+    """Outcome of one accuracy-gate pass over many figures."""
+
+    figures: List[FigureScore] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def breached(self) -> List[FigureScore]:
+        return [f for f in self.figures if f.breached]
+
+    @property
+    def ok(self) -> bool:
+        return not self.breached and not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_OK if self.ok else EXIT_ACCURACY_DRIFT
+
+    @property
+    def verdict(self) -> str:
+        return "OK" if self.ok else "ACCURACY_DRIFT"
+
+    def worst(self) -> Optional[MetricScore]:
+        scores = [s for f in self.figures for s in f.scores]
+        return max(scores, key=lambda s: s.rel_err_pct, default=None)
+
+    def render(self, top: int = 5) -> str:
+        lines = [
+            f"{'figure':<26}{'metrics':>8}{'qual':>6}{'worst_%':>9}"
+            f"{'geomean_%':>11}{'budget_%':>10}  status",
+            "-" * 78,
+        ]
+        for figure_score in self.figures:
+            status = "BREACH" if figure_score.breached else "ok"
+            lines.append(
+                f"{figure_score.figure_id:<26}{len(figure_score.scores):>8}"
+                f"{figure_score.qualitative:>6}{figure_score.worst_pct:>9.2f}"
+                f"{figure_score.geomean_pct:>11.2f}"
+                f"{figure_score.threshold_pct:>10.1f}  {status}"
+            )
+            for metric in figure_score.unregistered:
+                lines.append(f"    unregistered metric: {metric!r}")
+            for mismatch in figure_score.table_mismatches:
+                lines.append(f"    target-table mismatch: {mismatch}")
+        worst_scores = sorted(
+            (s for f in self.figures for s in f.scores),
+            key=lambda s: s.rel_err_pct, reverse=True,
+        )[:top]
+        if worst_scores:
+            lines.append("")
+            lines.append("largest reproduction errors:")
+            for score in worst_scores:
+                lines.append(
+                    f"  {score.rel_err_pct:7.2f}%  {score.figure_id}: "
+                    f"{score.metric} (paper={score.paper:g}, "
+                    f"measured={score.measured:g})"
+                )
+        for failure in self.failures:
+            lines.append(f"FAILED {failure}")
+        lines.append(f"verdict: {self.verdict}")
+        return "\n".join(lines)
+
+    def details(self) -> Dict[str, object]:
+        return {
+            "figures": {
+                f.figure_id: {
+                    "worst_pct": f.worst_pct,
+                    "geomean_pct": f.geomean_pct,
+                    "threshold_pct": f.threshold_pct,
+                    "breached": f.breached,
+                    "unregistered": f.unregistered,
+                    "table_mismatches": f.table_mismatches,
+                    "metrics": {
+                        s.metric: {
+                            "paper": s.paper,
+                            "measured": s.measured,
+                            "rel_err_pct": (
+                                s.rel_err_pct
+                                if math.isfinite(s.rel_err_pct)
+                                else "inf"
+                            ),
+                        }
+                        for s in f.scores
+                    },
+                }
+                for f in self.figures
+            },
+            "failures": self.failures,
+        }
+
+
+def check_accuracy(
+    cells: Sequence[str],
+    results_dir: Optional[str] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    payload_set: Optional[PayloadSet] = None,
+) -> AccuracyReport:
+    """Run the accuracy gate over the named grid cells."""
+    if payload_set is None:
+        payload_set = collect_payloads(cells, results_dir, jobs, use_cache)
+    report = AccuracyReport(failures=list(payload_set.failures))
+    for figure_id in sorted(payload_set.payloads):
+        report.figures.append(
+            score_payload(figure_id, payload_set.payloads[figure_id])
+        )
+    return report

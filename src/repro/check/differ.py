@@ -1,0 +1,168 @@
+"""Tolerance-aware structural diff between two figure payloads.
+
+The golden gate compares the JSON payload a figure produced today
+against the canonical snapshot committed under ``results/golden/``.
+Payloads are trees of dicts/lists/scalars; the differ walks both trees
+in lockstep and reports every mismatch with its JSON path, so a drift
+report reads like a unified diff of the exact cells that moved:
+
+    --- golden/fig05_copytime.json
+    +++ results/fig05_copytime.json
+    @ rows[3][5]
+    - 12.482
+    + 13.007   (rel err 4.21e-02 > tol 1e-09)
+
+Numbers compare under a per-call :class:`Tolerance` (absolute OR
+relative — passing either suffices); NaN equals NaN (a payload that
+legitimately contains NaN must stay reproducible); bools compare as
+bools, never as the integers Python pretends they are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Numeric comparison band: equal if |a-b| <= abs_tol OR the
+    relative error against max(|a|,|b|) is <= rel_tol."""
+
+    rel: float = 1e-9
+    abs: float = 1e-12
+
+    def numbers_equal(self, golden: float, current: float) -> bool:
+        golden_nan = isinstance(golden, float) and math.isnan(golden)
+        current_nan = isinstance(current, float) and math.isnan(current)
+        if golden_nan or current_nan:
+            return golden_nan and current_nan
+        if math.isinf(golden) or math.isinf(current):
+            return golden == current
+        delta = abs(float(golden) - float(current))
+        if delta <= self.abs:
+            return True
+        scale = max(abs(float(golden)), abs(float(current)))
+        return scale > 0 and delta / scale <= self.rel
+
+
+@dataclass
+class Difference:
+    """One structural or numeric mismatch between golden and current."""
+
+    path: str
+    kind: str  # "value" | "type" | "missing" | "extra" | "length"
+    golden: Any = None
+    current: Any = None
+    detail: str = ""
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _walk(
+    path: str, golden: Any, current: Any, tol: Tolerance
+) -> Iterator[Difference]:
+    if _is_number(golden) and _is_number(current):
+        if not tol.numbers_equal(golden, current):
+            delta = abs(float(golden) - float(current))
+            scale = max(abs(float(golden)), abs(float(current)))
+            rel = delta / scale if scale else math.inf
+            yield Difference(
+                path, "value", golden, current,
+                detail=f"rel err {rel:.2e} > tol {tol.rel:g}",
+            )
+        return
+    if type(golden) is not type(current):
+        yield Difference(
+            path, "type", golden, current,
+            detail=f"{type(golden).__name__} became {type(current).__name__}",
+        )
+        return
+    if isinstance(golden, dict):
+        for key in golden:
+            if key not in current:
+                yield Difference(f"{path}.{key}", "missing", golden=golden[key],
+                                 detail="key dropped from current payload")
+        for key in current:
+            if key not in golden:
+                yield Difference(f"{path}.{key}", "extra", current=current[key],
+                                 detail="key absent from golden")
+        for key in golden:
+            if key in current:
+                yield from _walk(f"{path}.{key}", golden[key], current[key], tol)
+        return
+    if isinstance(golden, list):
+        if len(golden) != len(current):
+            yield Difference(
+                path, "length", len(golden), len(current),
+                detail=f"{len(golden)} items became {len(current)}",
+            )
+        for index, (g_item, c_item) in enumerate(zip(golden, current)):
+            yield from _walk(f"{path}[{index}]", g_item, c_item, tol)
+        return
+    if golden != current:
+        yield Difference(path, "value", golden, current)
+
+
+def diff_payloads(
+    golden: Any, current: Any, tol: Optional[Tolerance] = None
+) -> List[Difference]:
+    """Every mismatch between two payload trees, in document order."""
+    return list(_walk("$", golden, current, tol or Tolerance()))
+
+
+@dataclass
+class PayloadDiff:
+    """The diff of one figure against its golden snapshot."""
+
+    figure_id: str
+    golden_path: str
+    current_path: str
+    differences: List[Difference] = field(default_factory=list)
+    error: str = ""  # e.g. missing/corrupt golden file
+
+    @property
+    def clean(self) -> bool:
+        return not self.differences and not self.error
+
+
+def _render_side(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def render_report(diffs: List[PayloadDiff], max_per_figure: int = 20) -> str:
+    """Unified-diff-style drift report over every non-clean figure."""
+    lines: List[str] = []
+    for payload_diff in diffs:
+        if payload_diff.clean:
+            continue
+        lines.append(f"--- {payload_diff.golden_path}")
+        lines.append(f"+++ {payload_diff.current_path}")
+        if payload_diff.error:
+            lines.append(f"!! {payload_diff.error}")
+        shown = payload_diff.differences[:max_per_figure]
+        for difference in shown:
+            lines.append(f"@ {difference.path} ({difference.kind})")
+            if difference.kind != "extra":
+                lines.append(f"- {_render_side(difference.golden)}")
+            if difference.kind != "missing":
+                suffix = f"   ({difference.detail})" if difference.detail else ""
+                lines.append(f"+ {_render_side(difference.current)}{suffix}")
+            elif difference.detail:
+                lines.append(f"  ({difference.detail})")
+        hidden = len(payload_diff.differences) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more difference(s)")
+        lines.append("")
+    if not lines:
+        return "no drift: every payload matches its golden snapshot"
+    total = sum(len(d.differences) for d in diffs)
+    drifted = sum(1 for d in diffs if not d.clean)
+    lines.append(
+        f"{drifted} figure(s) drifted, {total} difference(s) total"
+    )
+    return "\n".join(lines)

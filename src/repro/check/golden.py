@@ -1,0 +1,172 @@
+"""Golden-snapshot gate: ``repro check golden [--update]``.
+
+A golden is the canonical result payload for one figure/variant cell,
+committed under ``results/golden/<figure_id>.json``.  The gate re-runs
+the grid (cache-served when nothing changed) and structurally diffs
+every payload against its golden under a tolerance
+(:mod:`repro.check.differ`); any drift — a moved number, a dropped
+row, a missing golden — is a ``GOLDEN_DRIFT`` verdict (exit 4).
+
+Goldens are updated *only* deliberately: ``repro check golden
+--update`` rewrites the snapshot files from the current run, and the
+resulting ``results/golden/`` diff is reviewed like any other code
+change.  The configs behind a snapshot come from the same
+:func:`repro.config.grid_system_configs` pair the runner fingerprints,
+so a snapshot can always be reproduced locally by a default run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..exec import fingerprint
+from . import EXIT_GOLDEN_DRIFT, EXIT_OK
+from .differ import PayloadDiff, Tolerance, diff_payloads, render_report
+from .gate import PayloadSet, collect_payloads, default_golden_dir
+
+#: Default comparison band.  The simulator is deterministic, so golden
+#: payloads reproduce exactly; the tiny relative band only absorbs
+#: float round-trip noise across platforms/python versions.
+DEFAULT_TOLERANCE = Tolerance(rel=1e-9, abs=1e-12)
+
+
+def golden_path(golden_dir: str, figure_id: str) -> str:
+    return os.path.join(golden_dir, f"{figure_id}.json")
+
+
+@dataclass
+class GoldenReport:
+    """Outcome of one golden verify/update pass."""
+
+    diffs: List[PayloadDiff] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    updated: List[str] = field(default_factory=list)
+    config_hash: str = ""
+
+    @property
+    def drifted(self) -> List[PayloadDiff]:
+        return [d for d in self.diffs if not d.clean]
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifted and not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_OK if self.ok else EXIT_GOLDEN_DRIFT
+
+    @property
+    def verdict(self) -> str:
+        return "OK" if self.ok else "GOLDEN_DRIFT"
+
+    def render(self) -> str:
+        lines: List[str] = []
+        if self.updated:
+            lines.append(
+                f"updated {len(self.updated)} golden snapshot(s): "
+                + ", ".join(self.updated)
+            )
+        clean = sum(1 for d in self.diffs if d.clean)
+        lines.append(
+            f"golden gate: {clean}/{len(self.diffs)} payload(s) match "
+            f"(config {self.config_hash[:12]})"
+        )
+        if self.drifted:
+            lines.append(render_report(self.diffs))
+        for failure in self.failures:
+            lines.append(f"FAILED {failure}")
+        lines.append(f"verdict: {self.verdict}")
+        return "\n".join(lines)
+
+    def details(self) -> Dict[str, object]:
+        return {
+            "config_hash": self.config_hash,
+            "checked": [d.figure_id for d in self.diffs],
+            "drifted": {
+                d.figure_id: (
+                    d.error
+                    or [
+                        {
+                            "path": diff.path,
+                            "kind": diff.kind,
+                            "golden": _jsonable(diff.golden),
+                            "current": _jsonable(diff.current),
+                        }
+                        for diff in d.differences[:50]
+                    ]
+                )
+                for d in self.drifted
+            },
+            "failures": self.failures,
+        }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    return value
+
+
+def _diff_one(
+    figure_id: str,
+    current: dict,
+    golden_dir: str,
+    results_dir_label: str,
+    tol: Tolerance,
+) -> PayloadDiff:
+    path = golden_path(golden_dir, figure_id)
+    result = PayloadDiff(
+        figure_id=figure_id,
+        golden_path=path,
+        current_path=os.path.join(results_dir_label, f"{figure_id}.json"),
+    )
+    try:
+        with open(path) as handle:
+            golden = json.load(handle)
+    except FileNotFoundError:
+        result.error = (
+            "no golden snapshot; run `repro check golden --update` and "
+            "commit the new file"
+        )
+        return result
+    except (OSError, json.JSONDecodeError) as exc:
+        result.error = f"unreadable golden: {exc}"
+        return result
+    result.differences = diff_payloads(golden, current, tol)
+    return result
+
+
+def check_golden(
+    cells: Sequence[str],
+    results_dir: Optional[str] = None,
+    golden_dir: Optional[str] = None,
+    jobs: int = 1,
+    update: bool = False,
+    use_cache: bool = True,
+    tol: Tolerance = DEFAULT_TOLERANCE,
+    payload_set: Optional[PayloadSet] = None,
+) -> GoldenReport:
+    """Verify (or with ``update=True`` refresh) golden snapshots."""
+    golden_dir = golden_dir or default_golden_dir()
+    if payload_set is None:
+        payload_set = collect_payloads(cells, results_dir, jobs, use_cache)
+    report = GoldenReport(
+        failures=list(payload_set.failures),
+        config_hash=fingerprint.grid_config_hash(),
+    )
+    results_label = results_dir or "results"
+    for figure_id in sorted(payload_set.payloads):
+        current = payload_set.payloads[figure_id]
+        if update:
+            os.makedirs(golden_dir, exist_ok=True)
+            with open(golden_path(golden_dir, figure_id), "w") as handle:
+                json.dump(current, handle, indent=1)
+                handle.write("\n")
+            report.updated.append(figure_id)
+        report.diffs.append(
+            _diff_one(figure_id, current, golden_dir, results_label, tol)
+        )
+    return report

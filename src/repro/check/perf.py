@@ -1,0 +1,281 @@
+"""Perf-budget gate: ``repro check perf [--quick] [--update]``.
+
+Times the tier-1 grid for real (cache bypassed, min-of-N wall clock
+per cell via :func:`repro.exec.runner.bench_cell`) plus a set of
+simulator benches (catalogue apps run end to end, reporting both the
+deterministic simulated span and the simulated-ns-per-wall-second
+throughput), and compares the result against the committed
+``BENCH_baseline.json``.
+
+A cell whose wall time exceeds ``baseline * (1 + band)`` is a
+``PERF_REGRESSION`` verdict (exit 5).  Simulated spans are
+deterministic, so a *sim_ns* change is reported as behavioural drift
+info — the golden/accuracy gates own that failure mode; this gate owns
+wall clock.  Faster-than-baseline cells beyond the band are reported
+as a hint to refresh the baseline (``--update``), never as a failure.
+
+Wall-clock comparisons are only meaningful against a baseline recorded
+on comparable hardware; the default band (75%) absorbs normal
+machine-to-machine spread, and CI runs this gate warn-only on pull
+requests (hard gate on main).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import resolve_system_configs
+from ..cuda import run_app
+from ..exec import fingerprint
+from ..exec import runner as exec_runner
+from ..figures.common import default_results_dir
+from ..obs import MetricsRegistry
+from ..workloads import CATALOG
+from . import EXIT_OK, EXIT_PERF_REGRESSION
+
+BASELINE_VERSION = 1
+DEFAULT_BAND = 0.75
+DEFAULT_REPEATS = 3
+
+#: Cells the --quick smoke times (a cross-section of the fast grid).
+QUICK_CELLS = ("table1", "fig04a", "fig04b", "fig05", "fig07")
+
+#: Simulator benches: deterministic end-to-end app runs.  Keys are the
+#: baseline entry names; values are (app, cc) resolved through the
+#: shared config path so `repro run APP [--cc]` times the same thing.
+SIM_BENCHES: Dict[str, tuple] = {
+    "gemm.base": ("gemm", False),
+    "gemm.cc": ("gemm", True),
+    "hotspot.cc": ("hotspot", True),
+}
+
+
+def default_baseline_path() -> str:
+    return os.path.join(
+        os.path.dirname(default_results_dir()), "BENCH_baseline.json"
+    )
+
+
+def perf_cells(quick: bool = False) -> List[str]:
+    if quick:
+        return list(QUICK_CELLS)
+    return exec_runner.default_cells(include_slow=False)
+
+
+@dataclass
+class PerfEntry:
+    """One timed unit (grid cell or simulator bench)."""
+
+    name: str
+    wall_ns: int
+    sim_ns: int = 0  # 0 for grid cells (no single simulated span)
+
+    @property
+    def sim_ns_per_wall_s(self) -> float:
+        return self.sim_ns / (self.wall_ns / 1e9) if self.wall_ns else 0.0
+
+
+def measure(
+    cells: Sequence[str],
+    repeats: int = DEFAULT_REPEATS,
+    sim_benches: Optional[Dict[str, tuple]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, PerfEntry]:
+    """Time the named cells and sim benches; min-of-N wall each."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    entries: Dict[str, PerfEntry] = {}
+    for cell_id in cells:
+        payload = exec_runner.bench_cell(cell_id, repeats, metrics=metrics)
+        if not payload["ok"]:
+            raise RuntimeError(f"perf bench {cell_id} failed: {payload['error']}")
+        entries[f"cell:{cell_id}"] = PerfEntry(
+            name=f"cell:{cell_id}", wall_ns=payload["wall_ns_min"]
+        )
+    benches = SIM_BENCHES if sim_benches is None else sim_benches
+    for name, (app_name, cc) in benches.items():
+        config = resolve_system_configs(cc=cc)
+        info = CATALOG[app_name]
+        walls: List[int] = []
+        sim_ns = 0
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter_ns()
+            trace, _ = run_app(info.app(False), config, label=app_name)
+            wall = time.perf_counter_ns() - started
+            walls.append(wall)
+            sim_ns = trace.span_ns()
+            metrics.histogram(f"check.perf.sim.{name}.wall_ns").observe(wall)
+        entries[f"sim:{name}"] = PerfEntry(
+            name=f"sim:{name}", wall_ns=min(walls), sim_ns=sim_ns
+        )
+    return entries
+
+
+def save_baseline(
+    entries: Dict[str, PerfEntry], path: str, repeats: int
+) -> str:
+    payload = {
+        "version": BASELINE_VERSION,
+        "config_hash": fingerprint.grid_config_hash(),
+        "repeats": repeats,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "entries": {
+            entry.name: {
+                "wall_ns": entry.wall_ns,
+                "sim_ns": entry.sim_ns,
+                "sim_ns_per_wall_s": round(entry.sim_ns_per_wall_s, 1),
+            }
+            for entry in entries.values()
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as handle:
+        baseline = json.load(handle)
+    if (
+        not isinstance(baseline, dict)
+        or baseline.get("version") != BASELINE_VERSION
+        or not isinstance(baseline.get("entries"), dict)
+    ):
+        raise ValueError(f"{path}: not a v{BASELINE_VERSION} perf baseline")
+    return baseline
+
+
+@dataclass
+class PerfComparison:
+    """Current-vs-baseline verdict for one entry."""
+
+    name: str
+    baseline_wall_ns: int
+    current_wall_ns: int
+    status: str  # "ok" | "regression" | "improved"
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        return (
+            self.current_wall_ns / self.baseline_wall_ns
+            if self.baseline_wall_ns
+            else float("inf")
+        )
+
+
+@dataclass
+class PerfReport:
+    """Outcome of one perf-gate pass."""
+
+    comparisons: List[PerfComparison] = field(default_factory=list)
+    band: float = DEFAULT_BAND
+    notes: List[str] = field(default_factory=list)
+    baseline_path: str = ""
+
+    @property
+    def regressions(self) -> List[PerfComparison]:
+        return [c for c in self.comparisons if c.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_OK if self.ok else EXIT_PERF_REGRESSION
+
+    @property
+    def verdict(self) -> str:
+        return "OK" if self.ok else "PERF_REGRESSION"
+
+    def render(self) -> str:
+        width = max([5] + [len(c.name) for c in self.comparisons]) + 2
+        lines = [
+            f"perf gate vs {self.baseline_path} (band +{100 * self.band:.0f}%)",
+            f"{'entry':<{width}}{'base_ms':>10}{'now_ms':>10}{'ratio':>8}"
+            f"  status",
+            "-" * (width + 36),
+        ]
+        for comparison in self.comparisons:
+            lines.append(
+                f"{comparison.name:<{width}}"
+                f"{comparison.baseline_wall_ns / 1e6:>10.1f}"
+                f"{comparison.current_wall_ns / 1e6:>10.1f}"
+                f"{comparison.ratio:>8.2f}  {comparison.status}"
+                + (f"  ({comparison.note})" if comparison.note else "")
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        lines.append(f"verdict: {self.verdict}")
+        return "\n".join(lines)
+
+    def details(self) -> Dict[str, object]:
+        return {
+            "band": self.band,
+            "baseline": self.baseline_path,
+            "entries": {
+                c.name: {
+                    "baseline_wall_ns": c.baseline_wall_ns,
+                    "current_wall_ns": c.current_wall_ns,
+                    "ratio": round(c.ratio, 4),
+                    "status": c.status,
+                    "note": c.note,
+                }
+                for c in self.comparisons
+            },
+            "notes": self.notes,
+        }
+
+
+def compare(
+    baseline: dict,
+    entries: Dict[str, PerfEntry],
+    band: float = DEFAULT_BAND,
+    baseline_path: str = "",
+) -> PerfReport:
+    """Gate current timings against a loaded baseline."""
+    report = PerfReport(band=band, baseline_path=baseline_path)
+    recorded = baseline["entries"]
+    if baseline.get("config_hash") not in ("", None, fingerprint.grid_config_hash()):
+        report.notes.append(
+            "baseline was recorded under a different SystemConfig "
+            "(sim-time drift is expected; wall budgets still apply)"
+        )
+    for name in sorted(entries):
+        entry = entries[name]
+        if name not in recorded:
+            report.notes.append(
+                f"{name}: no baseline entry (new bench? run --update)"
+            )
+            continue
+        base_wall = int(recorded[name]["wall_ns"])
+        status = "ok"
+        note = ""
+        if entry.wall_ns > base_wall * (1.0 + band):
+            status = "regression"
+            note = f"exceeds +{100 * band:.0f}% budget"
+        elif entry.wall_ns * (1.0 + band) < base_wall:
+            status = "improved"
+            note = "beyond band; consider --update"
+        base_sim = int(recorded[name].get("sim_ns", 0))
+        if entry.sim_ns and base_sim and entry.sim_ns != base_sim:
+            report.notes.append(
+                f"{name}: simulated span changed "
+                f"{base_sim} -> {entry.sim_ns} ns (behavioural drift; "
+                f"the golden gate owns this)"
+            )
+        report.comparisons.append(
+            PerfComparison(name, base_wall, entry.wall_ns, status, note)
+        )
+    for name in sorted(set(recorded) - set(entries)):
+        report.notes.append(f"{name}: in baseline but not timed this run")
+    return report

@@ -34,51 +34,49 @@ trace diff APP [--uvm] | --base B.json --cc-trace C.json
     a model-drift cross-check.
 trace validate TRACE.json
     Check a trace file against the exporter schema.
+check golden [CELLS ...] [--full] [--update]
+    Verify figure payloads against the committed golden snapshots in
+    results/golden/ (exit 4 = GOLDEN_DRIFT); --update refreshes them.
+check accuracy [CELLS ...] [--full]
+    Score each figure's reproduction error against the paper's
+    reported values (exit 3 = ACCURACY_DRIFT on threshold breach).
+check perf [--quick] [--update] [--band F]
+    Time the grid (min-of-N wall clock + simulated-ns throughput) and
+    gate against BENCH_baseline.json (exit 5 = PERF_REGRESSION).
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from typing import List, Optional
 
 from . import units
-from .config import SystemConfig
+from .config import SystemConfig, resolve_system_configs
 from .core import decompose, kernel_metrics, kernel_to_launch_ratio, launch_metrics
 from .cuda import CudaError, Machine, run_app
-from .faults import FaultError, FaultPlan
+from .faults import FaultError
 from .mem.allocator import OutOfMemoryError
 from .sim import SimulationError
 from .workloads import CATALOG
 
 
 def _config(args) -> SystemConfig:
-    config = SystemConfig.confidential() if args.cc else SystemConfig.base()
-    if getattr(args, "teeio", False):
-        config = config.replace(
-            tdx=dataclasses.replace(config.tdx, teeio=True)
+    """Resolve CLI mode flags through the one shared resolution path
+    (:func:`repro.config.resolve_system_configs`) so ``repro run`` and
+    ``repro check`` can never disagree on what a flag means."""
+    try:
+        return resolve_system_configs(
+            cc=args.cc,
+            teeio=getattr(args, "teeio", False),
+            seed=getattr(args, "seed", None),
+            fault_plan=getattr(args, "fault_plan", ""),
+            fault_rate=getattr(args, "fault_rate", None),
         )
-    seed = getattr(args, "seed", None)
-    if seed is not None:
-        config = config.replace(seed=seed)
-    plan_path = getattr(args, "fault_plan", "")
-    rate = getattr(args, "fault_rate", None)
-    if plan_path and rate is not None:
-        raise SystemExit("--fault-plan and --fault-rate are mutually exclusive")
-    if plan_path:
-        try:
-            config = config.replace(faults=FaultPlan.load(plan_path))
-        except (OSError, ValueError) as exc:
-            raise SystemExit(f"--fault-plan: {exc}")
-    elif rate is not None:
-        plan = FaultPlan.uniform(rate)
-        try:
-            plan.validate()
-        except ValueError as exc:
-            raise SystemExit(f"--fault-rate: {exc}")
-        config = config.replace(faults=plan)
-    return config
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_apps(_args) -> int:
@@ -358,6 +356,90 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _write_check_outputs(args, gate: str, report) -> None:
+    """Persist a gate's verdict JSON (always) and text report (opt-in)."""
+    from .check.gate import write_verdict
+
+    verdict_path = args.verdict or os.path.join(
+        args.out if hasattr(args, "out") else "results",
+        "check", f"{gate}_verdict.json",
+    )
+    write_verdict(verdict_path, gate, report.verdict, report.details())
+    if getattr(args, "report", ""):
+        with open(args.report, "w") as handle:
+            handle.write(report.render() + "\n")
+
+
+def cmd_check(args) -> int:
+    """``repro check golden|accuracy|perf``: the regression gates."""
+    from .check import gate as check_gate
+
+    if args.check_command == "golden":
+        from .check.golden import check_golden
+
+        cells = check_gate.gate_cells(args.cells, full=args.full)
+        report = check_golden(
+            cells,
+            results_dir=args.out,
+            golden_dir=args.golden_dir or None,
+            jobs=max(1, args.jobs),
+            update=args.update,
+            use_cache=not args.no_cache,
+        )
+        print(report.render())
+        _write_check_outputs(args, "golden", report)
+        return report.exit_code
+
+    if args.check_command == "accuracy":
+        from .check.accuracy import check_accuracy
+
+        cells = check_gate.gate_cells(args.cells, full=args.full)
+        report = check_accuracy(
+            cells,
+            results_dir=args.out,
+            jobs=max(1, args.jobs),
+            use_cache=not args.no_cache,
+        )
+        print(report.render())
+        _write_check_outputs(args, "accuracy", report)
+        return report.exit_code
+
+    if args.check_command == "perf":
+        from .check import perf as check_perf
+
+        baseline_path = args.baseline or check_perf.default_baseline_path()
+        baseline = None
+        if not args.update:
+            # Fail fast on a missing/bad baseline before timing anything.
+            try:
+                baseline = check_perf.load_baseline(baseline_path)
+            except FileNotFoundError:
+                print(
+                    f"error: no perf baseline at {baseline_path}; record one "
+                    f"with `repro check perf --update`",
+                    file=sys.stderr,
+                )
+                return 1
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        entries = check_perf.measure(
+            check_perf.perf_cells(quick=args.quick), repeats=args.repeats
+        )
+        if args.update:
+            path = check_perf.save_baseline(entries, baseline_path, args.repeats)
+            print(f"perf baseline written -> {path}")
+            return 0
+        report = check_perf.compare(
+            baseline, entries, band=args.band, baseline_path=baseline_path
+        )
+        print(report.render())
+        _write_check_outputs(args, "perf", report)
+        return report.exit_code
+
+    raise SystemExit(f"unknown check subcommand {args.check_command!r}")
+
+
 def cmd_attest(args) -> int:
     from .sim import Simulator
     from .tdx import GuestContext, attest_gpu
@@ -605,6 +687,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep_p.add_argument("--dir", default="results")
 
+    check_p = sub.add_parser(
+        "check",
+        help="regression gates: golden snapshots, paper accuracy, perf budgets",
+    )
+    check_sub = check_p.add_subparsers(dest="check_command", required=True)
+
+    def _add_gate_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "cells", nargs="*",
+            help="grid cells to gate (default: the fast grid)",
+        )
+        parser.add_argument(
+            "--full", action="store_true",
+            help="gate the full grid, slow figures and extensions included",
+        )
+        parser.add_argument("--jobs", type=int, default=1, metavar="N")
+        parser.add_argument("--out", default="results", metavar="DIR")
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="re-simulate every cell instead of serving cached payloads",
+        )
+        parser.add_argument(
+            "--verdict", default="", metavar="PATH",
+            help="verdict JSON path (default: OUT/check/<gate>_verdict.json)",
+        )
+        parser.add_argument(
+            "--report", default="", metavar="PATH",
+            help="also write the text report to PATH (CI artifact)",
+        )
+
+    cgold_p = check_sub.add_parser(
+        "golden", help="verify results against results/golden/ snapshots"
+    )
+    _add_gate_args(cgold_p)
+    cgold_p.add_argument(
+        "--update", action="store_true",
+        help="refresh the golden snapshots from the current run",
+    )
+    cgold_p.add_argument(
+        "--golden-dir", default="", metavar="DIR",
+        help="snapshot directory (default: results/golden next to the package)",
+    )
+
+    cacc_p = check_sub.add_parser(
+        "accuracy", help="score reproduction error against the paper targets"
+    )
+    _add_gate_args(cacc_p)
+
+    cperf_p = check_sub.add_parser(
+        "perf", help="time the grid and gate against BENCH_baseline.json"
+    )
+    cperf_p.add_argument(
+        "--quick", action="store_true",
+        help="time only the quick smoke subset",
+    )
+    cperf_p.add_argument(
+        "--update", action="store_true",
+        help="record the current timings as the new baseline",
+    )
+    cperf_p.add_argument(
+        "--baseline", default="", metavar="PATH",
+        help="baseline file (default: BENCH_baseline.json at the repo root)",
+    )
+    cperf_p.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="repeats per bench; min wall time is kept (default 3)",
+    )
+    cperf_p.add_argument(
+        "--band", type=float, default=0.75, metavar="F",
+        help="allowed slowdown fraction over baseline (default 0.75 = +75%%)",
+    )
+    cperf_p.add_argument("--out", default="results", metavar="DIR")
+    cperf_p.add_argument("--verdict", default="", metavar="PATH")
+    cperf_p.add_argument("--report", default="", metavar="PATH")
+
     ana_p = sub.add_parser(
         "analyze", help="apply the Sec.-V model to a chrome-trace file"
     )
@@ -632,6 +789,7 @@ _COMMANDS = {
     "attest": cmd_attest,
     "faults": cmd_faults,
     "report": cmd_report,
+    "check": cmd_check,
     "trace": cmd_trace,
     "analyze": cmd_analyze,
     "whatif": cmd_whatif,

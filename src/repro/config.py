@@ -370,3 +370,52 @@ class SystemConfig:
     def hypercall_ns(self) -> int:
         """Cost of one guest->host transition in the current mode."""
         return self.tdx.td_hypercall_ns if self.cc_on else self.tdx.hypercall_ns
+
+
+def resolve_system_configs(
+    cc: bool = False,
+    teeio: bool = False,
+    seed: Optional[int] = None,
+    fault_plan: str = "",
+    fault_rate: Optional[float] = None,
+) -> SystemConfig:
+    """Resolve user-facing mode flags into one :class:`SystemConfig`.
+
+    This is the single config-resolution path shared by ``repro run``
+    and ``repro check`` (and anything else that accepts the CC-mode
+    flag set): both CLIs route through here, so a flag added to one
+    cannot silently change the other's meaning and make committed
+    golden snapshots unreproducible locally.  Raises ValueError on
+    conflicting or malformed inputs.
+    """
+    config = SystemConfig.confidential() if cc else SystemConfig.base()
+    if teeio:
+        config = config.replace(tdx=dataclasses.replace(config.tdx, teeio=True))
+    if seed is not None:
+        config = config.replace(seed=seed)
+    if fault_plan and fault_rate is not None:
+        raise ValueError("--fault-plan and --fault-rate are mutually exclusive")
+    if fault_plan:
+        try:
+            config = config.replace(faults=FaultPlan.load(fault_plan))
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"--fault-plan: {exc}") from exc
+    elif fault_rate is not None:
+        plan = FaultPlan.uniform(fault_rate)
+        try:
+            plan.validate()
+        except ValueError as exc:
+            raise ValueError(f"--fault-rate: {exc}") from exc
+        config = config.replace(faults=plan)
+    return config
+
+
+def grid_system_configs() -> "tuple[SystemConfig, SystemConfig]":
+    """The canonical (base, cc) config pair the figure grid runs under.
+
+    Everything that fingerprints or reproduces grid results — the
+    result cache (:mod:`repro.exec.fingerprint`), golden snapshots and
+    perf baselines (:mod:`repro.check`) — must derive its config hash
+    from this pair, never from ad-hoc ``SystemConfig`` constructions.
+    """
+    return resolve_system_configs(cc=False), resolve_system_configs(cc=True)

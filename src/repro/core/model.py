@@ -28,7 +28,6 @@ from typing import List
 from .. import units
 from ..profiler import EventKind, Trace
 from . import intervals
-from .metrics import kernel_metrics, launch_metrics
 
 
 @dataclass(frozen=True)

@@ -36,12 +36,15 @@ from functools import lru_cache
 from typing import Any, Iterable, Tuple
 
 from .. import calibration
-from ..config import SystemConfig
+from ..config import SystemConfig, grid_system_configs
 
 _PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-# Source trees whose edits cannot change a figure payload.
-_CORE_EXCLUDED_DIRS = ("figures", "exec")
+# Source trees whose edits cannot change a figure payload.  The check
+# package (gating) never feeds the simulator, with one exception: the
+# paper-target table is figure-table code, so cell_fingerprint() hashes
+# it explicitly below.
+_CORE_EXCLUDED_DIRS = ("figures", "exec", "check")
 _CORE_EXCLUDED_FILES = ("cli.py",)
 
 
@@ -86,10 +89,13 @@ def config_hash(config: SystemConfig) -> str:
 
 @lru_cache(maxsize=None)
 def grid_config_hash() -> str:
-    """Hash of the two configs the figure grid instantiates."""
+    """Hash of the two configs the figure grid instantiates (the
+    shared :func:`repro.config.grid_system_configs` pair — the same one
+    golden snapshots and perf baselines stamp into their metadata)."""
+    base, cc = grid_system_configs()
     return _sha256([
-        config_hash(SystemConfig.base()).encode(),
-        config_hash(SystemConfig.confidential()).encode(),
+        config_hash(base).encode(),
+        config_hash(cc).encode(),
     ])
 
 
@@ -141,11 +147,14 @@ def _figure_path(module: str) -> str:
 
 
 def cell_fingerprint(module: str) -> str:
-    """Per-figure code fingerprint (module + shared table code + core)."""
+    """Per-figure code fingerprint (module + shared table code + the
+    paper-target table + core)."""
+    targets_path = os.path.join(_PACKAGE_ROOT, "check", "paper_targets.py")
     return _sha256([
         module.encode(),
         _read_source(_figure_path(module)),
         _read_source(_figure_path("common")),
+        _read_source(targets_path),
         package_fingerprint().encode(),
     ])
 

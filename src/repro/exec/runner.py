@@ -335,6 +335,39 @@ def payload_to_result(payload_json: str) -> FigureResult:
     )
 
 
+def bench_cell(
+    cell_id: str,
+    repeats: int = 3,
+    grid: Optional[Mapping[str, CellSpec]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Time one cell's real compute: run it ``repeats`` times with the
+    cache bypassed and report min-of-N wall time (the perf gate's
+    noise-resistant statistic).  Each repeat's wall time is recorded in
+    the ``exec.bench.<cell>.wall_ns`` histogram."""
+    grid = GRID if grid is None else grid
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    spec = grid[cell_id]
+    histogram = metrics.histogram(f"exec.bench.{cell_id}.wall_ns")
+    times: List[int] = []
+    for _ in range(max(1, repeats)):
+        payload = execute_cell(_work_item(spec))
+        if not payload["ok"]:
+            return {
+                "cell": cell_id,
+                "ok": False,
+                "error": payload["error"],
+            }
+        histogram.observe(payload["wall_ns"])
+        times.append(payload["wall_ns"])
+    return {
+        "cell": cell_id,
+        "ok": True,
+        "wall_ns_min": min(times),
+        "wall_ns_all": times,
+    }
+
+
 def cell_for_generator(generator: Callable) -> Optional[str]:
     """Reverse lookup: which grid cell wraps this generator function?
     Lets the benches route their existing ``generate_*`` calls through

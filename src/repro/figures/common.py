@@ -63,6 +63,21 @@ class FigureResult:
             {"metric": metric, "paper": paper, "measured": measured}
         )
 
+    def add_paper_comparison(
+        self, metric: str, measured: float, default: Optional[float] = None
+    ) -> None:
+        """Add a comparison whose paper value comes from the canonical
+        target table (:mod:`repro.check.paper_targets`) — the same
+        table the accuracy gate scores against, so figure and gate
+        cannot disagree.  ``default`` covers parameter-dependent metric
+        names that only have a table entry for the default parameters.
+        """
+        from ..check.paper_targets import paper_value
+
+        self.add_comparison(
+            metric, paper_value(self.figure_id, metric, default), measured
+        )
+
     def to_text(self) -> str:
         widths = [len(str(c)) for c in self.columns]
         str_rows = [[_fmt(cell) for cell in row] for row in self.rows]

@@ -25,7 +25,6 @@ from typing import Sequence
 
 from .. import units
 from ..config import CopyKind, MemoryKind, SystemConfig
-from ..core import kernel_metrics
 from ..cuda import Machine, run_app
 from ..cuda.transfers import achieved_bandwidth_gbps, plan_copy
 from ..faults import FaultPlan
@@ -65,17 +64,15 @@ def generate_teeio() -> FigureResult:
             "link pays only the PCIe IDE inline-encryption efficiency tax.",
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "teeio recovers transfer bandwidth (teeio/base, ~0.9+)",
-        0.94,
         _bandwidth(teeio) / _bandwidth(base),
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         # TEE-IO fixes the *transfer* path only; memory management and
         # launch-path hypercalls remain, so roughly a third of the CC
         # slowdown survives even with perfect IO hardware.
         "teeio end-to-end vs cc (fraction of CC slowdown removed)",
-        0.64,
         (spans["cc"] - spans["cc+teeio"]) / max(spans["cc"] - spans["base"], 1),
     )
     return figure
@@ -108,15 +105,14 @@ def generate_crypto_scaling(
             "bottleneck (DMA and bounce bookkeeping take over).",
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         # Even with crypto off the critical path, bounce bookkeeping
         # keeps CC transfers short of native bandwidth.
         "8-thread CC bandwidth / base bandwidth (still < 1)",
-        0.58,
         bws[8] / base_bw,
     )
-    figure.add_comparison(
-        "2-thread speedup over 1 thread", 1.8, bws[2] / bws[1]
+    figure.add_paper_comparison(
+        "2-thread speedup over 1 thread", bws[2] / bws[1]
     )
     return figure
 
@@ -153,9 +149,8 @@ def generate_graph_fusion_cc(
             "launch saves more when launches are hypercall-taxed).",
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "CC optimal batch >= base optimal batch",
-        1.0,
         float(optima["cc"] >= optima["base"]),
     )
     return figure
@@ -217,19 +212,16 @@ def generate_oversubscription(
             "the regime that produces the paper's 164030x Fig. 9 extreme.",
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "CC thrash blowup at 1.8x oversubscription (vs in-budget CC)",
-        700.0,
         kets[(1.8, "cc")] / kets[(0.5, "cc")],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "base thrash blowup at 1.8x (vs in-budget base)",
-        23.0,
         kets[(1.8, "base")] / kets[(0.5, "base")],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "CC/base steady-state ratio while thrashing",
-        30.0,
         kets[(1.8, "cc")] / kets[(1.8, "base")],
     )
     return figure
@@ -276,15 +268,13 @@ def generate_multigpu(
         ],
     )
     big = units.GB
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "batched / plaintext all-reduce bandwidth (8 GPUs, 1 GB)",
-        0.96,
         bandwidths[(8, big, LinkSecurity.BATCHED)]
         / bandwidths[(8, big, LinkSecurity.NONE)],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "naive / plaintext all-reduce bandwidth (8 GPUs, 1 GB)",
-        0.60,
         bandwidths[(8, big, LinkSecurity.NAIVE)]
         / bandwidths[(8, big, LinkSecurity.NONE)],
     )
@@ -308,9 +298,8 @@ def generate_multigpu(
         ("2x2-hier", 256, "cc-pcie", round(units.to_ms(hier_cc.time_ns), 4),
          round(hier_cc.algo_bandwidth_gbps, 1))
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "CC tax on cross-island (hier cc/base, 2x2 NVL pairs)",
-        5.0,
         hier_cc.time_ns / hier_base.time_ns,
     )
     return figure
@@ -365,19 +354,16 @@ def generate_distributed_training(
         ],
     )
     if 4 in gpu_counts:
-        figure.add_comparison(
+        figure.add_paper_comparison(
             "CC scaling efficiency, 4 GPUs on NVLink fabric",
-            0.99,
             eff[("nvlink", "cc", 4)],
         )
-        figure.add_comparison(
+        figure.add_paper_comparison(
             "CC scaling efficiency, 4 GPUs on NVL pairs",
-            0.57,
             eff[("nvl-pairs", "cc", 4)],
         )
-        figure.add_comparison(
+        figure.add_paper_comparison(
             "base scaling efficiency, 4 GPUs on NVL pairs",
-            0.91,
             eff[("nvl-pairs", "base", 4)],
         )
     return figure
@@ -437,12 +423,11 @@ def generate_model_load() -> FigureResult:
             "removes it in hardware.",
         ],
     )
-    figure.add_comparison(
-        "cc / base model-load time", 8.5, times["cc"] / times["base"]
+    figure.add_paper_comparison(
+        "cc / base model-load time", times["cc"] / times["base"]
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "pipelined recovers (cc / cc+pipelined)",
-        3.5,
         times["cc"] / times["cc+pipelined-4t"],
     )
     return figure
@@ -499,14 +484,12 @@ def generate_sensitivity(
         rows=rows,
     )
     if "2mm" in apps and "sc" in apps:
-        figure.add_comparison(
+        figure.add_paper_comparison(
             "few-launch app (2mm) KLO ratio noisier than launch-storm (sc)",
-            1.0,
             float(covs[("2mm", "klo")] > covs[("sc", "klo")]),
         )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "copy ratios are seed-stable (max CoV, %)",
-        0.0,
         100 * max(covs[(name, "copy")] for name in apps),
     )
     return figure
@@ -554,9 +537,8 @@ def generate_attestation() -> FigureResult:
             "establishment itself is slower too.",
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "TD attestation / VM attestation time",
-        1.0,
         session_ns["cc"] / session_ns["base"],
     )
     return figure
@@ -619,15 +601,14 @@ def generate_fault_recovery(
             "to a run without the fault layer.",
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "rate-0 span / no-plan span (zero-overhead guarantee)",
-        1.0,
         spans[rates[0]] / baseline_span,
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         f"slowdown at rate {top} (recovery visible end to end, > 1)",
-        1.0,
         spans[top] / baseline_span,
+        default=1.0,
     )
     return figure
 

@@ -52,14 +52,12 @@ def generate(app_name: str = DEFAULT_APP) -> FigureResult:
             "copies/mgmt/launches; CC-on+UVM is dominated by encrypted paging.",
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "cc-on / cc-off end-to-end (qualitative: > 1)",
-        1.0,
         spans["cc-on"] / spans["cc-off"],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "cc-on-uvm / cc-on end-to-end (qualitative: >> 1)",
-        1.0,
         spans["cc-on-uvm"] / spans["cc-on"],
     )
     return figure

@@ -54,9 +54,8 @@ def generate(app_names: Sequence[str] = DEFAULT_APPS) -> FigureResult:
         rows=rows,
         notes=["The model is the paper's Sec.-V contribution; error is prediction vs simulated wall clock."],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "max |prediction error| (qualitative: small)",
-        0.0,
         max(errors),
     )
     return figure

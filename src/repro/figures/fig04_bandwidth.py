@@ -7,7 +7,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from .. import units
-from ..calibration import PAPER
 from ..config import CopyKind
 from ..crypto import throughput as crypto
 from ..workloads import bandwidth_sweep
@@ -42,13 +41,9 @@ def generate_4a(sizes: Optional[Sequence[int]] = None) -> FigureResult:
         for p in points
         if not p.cc and p.memory.value == "pinned" and p.copy_kind is CopyKind.H2D
     ]
-    figure.add_comparison(
-        "CC pin-h2d peak GB/s",
-        PAPER["pcie.cc_pin_h2d_peak_gbps"].value,
-        max(pin_cc),
-    )
-    figure.add_comparison(
-        "base pinned h2d peak GB/s (paper-class ~25)", 25.0, max(pin_base)
+    figure.add_paper_comparison("CC pin-h2d peak GB/s", max(pin_cc))
+    figure.add_paper_comparison(
+        "base pinned h2d peak GB/s (paper-class ~25)", max(pin_base)
     )
     return figure
 
@@ -75,14 +70,12 @@ def generate_4b(size_bytes: int = 64 * units.MiB) -> FigureResult:
                  "confidentiality", "integrity"),
         rows=rows,
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "AES-GCM peak on EMR GB/s",
-        PAPER["crypto.aes_gcm_emr_gbps"].value,
         crypto.spec("aes-128-gcm", crypto.EMR).peak_gbps,
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "GHASH peak on EMR GB/s",
-        PAPER["crypto.ghash_emr_gbps"].value,
         crypto.spec("ghash", crypto.EMR).peak_gbps,
     )
     return figure

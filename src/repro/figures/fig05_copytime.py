@@ -10,7 +10,6 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .. import units
-from ..calibration import PAPER
 from ..config import CopyKind, SystemConfig
 from ..core import copy_time_by_kind
 from ..cuda import run_app
@@ -56,19 +55,9 @@ def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
         ],
     )
     values = list(slowdowns.values())
-    figure.add_comparison(
-        "mean copy slowdown", PAPER["copy.mean_slowdown"].value, float(np.mean(values))
-    )
-    figure.add_comparison(
-        "max copy slowdown (2dconv)",
-        PAPER["copy.max_slowdown"].value,
-        max(values),
-    )
-    figure.add_comparison(
-        "min copy slowdown (cnn)",
-        PAPER["copy.min_slowdown"].value,
-        min(values),
-    )
+    figure.add_paper_comparison("mean copy slowdown", float(np.mean(values)))
+    figure.add_paper_comparison("max copy slowdown (2dconv)", max(values))
+    figure.add_paper_comparison("min copy slowdown (cnn)", min(values))
     return figure
 VARIANTS = {"": generate}
 

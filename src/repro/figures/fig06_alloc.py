@@ -8,7 +8,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from .. import units
-from ..calibration import PAPER
 from ..config import SystemConfig
 from ..cuda import run_app
 from .common import FigureResult, dispatch
@@ -84,41 +83,30 @@ def generate(sizes: Sequence[int] = DEFAULT_SIZES) -> FigureResult:
         rows=rows,
     )
 
-    figure.add_comparison(
-        "cudaMalloc slowdown", PAPER["alloc.dmalloc_slowdown"].value,
-        small_ratio["cudaMalloc"],
+    figure.add_paper_comparison(
+        "cudaMalloc slowdown", small_ratio["cudaMalloc"]
     )
-    figure.add_comparison(
-        "cudaMallocHost slowdown", PAPER["alloc.hmalloc_slowdown"].value,
-        small_ratio["cudaMallocHost"],
+    figure.add_paper_comparison(
+        "cudaMallocHost slowdown", small_ratio["cudaMallocHost"]
     )
-    figure.add_comparison(
-        "cudaFree slowdown", PAPER["alloc.free_slowdown"].value,
-        small_ratio["cudaFree"],
+    figure.add_paper_comparison("cudaFree slowdown", small_ratio["cudaFree"])
+    figure.add_paper_comparison(
+        "cudaMallocManaged slowdown", small_ratio["cudaMallocManaged"]
     )
-    figure.add_comparison(
-        "cudaMallocManaged slowdown", PAPER["alloc.managed_alloc_slowdown"].value,
-        small_ratio["cudaMallocManaged"],
+    figure.add_paper_comparison(
+        "managed free slowdown", small_ratio["cudaFree(managed)"]
     )
-    figure.add_comparison(
-        "managed free slowdown", PAPER["alloc.managed_free_slowdown"].value,
-        small_ratio["cudaFree(managed)"],
+    figure.add_paper_comparison(
+        "non-CC UVM alloc vs base", uvm_vs_base["uvm_alloc"]
     )
-    figure.add_comparison(
-        "non-CC UVM alloc vs base", PAPER["alloc.uvm_alloc_vs_base"].value,
-        uvm_vs_base["uvm_alloc"],
+    figure.add_paper_comparison(
+        "non-CC UVM free vs base", uvm_vs_base["uvm_free"]
     )
-    figure.add_comparison(
-        "non-CC UVM free vs base", PAPER["alloc.uvm_free_vs_base"].value,
-        uvm_vs_base["uvm_free"],
+    figure.add_paper_comparison(
+        "CC UVM alloc vs base", uvm_vs_base["cc_uvm_alloc"]
     )
-    figure.add_comparison(
-        "CC UVM alloc vs base", PAPER["alloc.cc_uvm_alloc_vs_base"].value,
-        uvm_vs_base["cc_uvm_alloc"],
-    )
-    figure.add_comparison(
-        "CC UVM free vs base", PAPER["alloc.cc_uvm_free_vs_base"].value,
-        uvm_vs_base["cc_uvm_free"],
+    figure.add_paper_comparison(
+        "CC UVM free vs base", uvm_vs_base["cc_uvm_free"]
     )
     return figure
 VARIANTS = {"": generate}

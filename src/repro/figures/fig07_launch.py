@@ -10,7 +10,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..calibration import PAPER
 from ..config import SystemConfig
 from ..core import kernel_metrics, launch_metrics
 from ..cuda import run_app
@@ -69,22 +68,10 @@ def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
         columns=("app", "launches", "klo_cc/base", "lqt_cc/base", "kqt_cc/base"),
         rows=rows,
     )
-    figure.add_comparison(
-        "mean KLO slowdown", PAPER["launch.klo_mean_slowdown"].value,
-        float(np.mean(klo_ratios)),
-    )
-    figure.add_comparison(
-        "max KLO slowdown (dwt2d)", PAPER["launch.klo_max_slowdown"].value,
-        max(klo_ratios),
-    )
-    figure.add_comparison(
-        "mean LQT slowdown", PAPER["launch.lqt_mean_slowdown"].value,
-        float(np.mean(lqt_ratios)),
-    )
-    figure.add_comparison(
-        "mean KQT slowdown", PAPER["launch.kqt_mean_slowdown"].value,
-        float(np.mean(kqt_ratios)),
-    )
+    figure.add_paper_comparison("mean KLO slowdown", float(np.mean(klo_ratios)))
+    figure.add_paper_comparison("max KLO slowdown (dwt2d)", max(klo_ratios))
+    figure.add_paper_comparison("mean LQT slowdown", float(np.mean(lqt_ratios)))
+    figure.add_paper_comparison("mean KQT slowdown", float(np.mean(kqt_ratios)))
     return figure
 VARIANTS = {"": generate}
 

@@ -47,14 +47,12 @@ def generate() -> FigureResult:
             *render_ascii(tree).splitlines(),
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "share of launch in set_memory_decrypted (qualitative: large)",
-        0.5,
         frame_share(tree, "set_memory_decrypted"),
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "share of launch in TDX module (__seamcall)",
-        0.1,
         frame_share(tree, "tdx_module.__seamcall"),
     )
     return figure

@@ -8,7 +8,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..calibration import PAPER
 from ..config import SystemConfig
 from ..core import kernel_metrics
 from ..cuda import run_app
@@ -53,31 +52,21 @@ def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
         rows=rows,
         notes=["uvm_cc is the paper's 'encrypted paging' regime (log-scale in the paper)."],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "non-UVM CC KET increase (%)",
-        PAPER["ket.nonuvm_cc_increase_percent"].value,
         100.0 * (float(np.mean(cc_nonuvm)) - 1.0),
     )
-    figure.add_comparison(
-        "UVM non-CC mean slowdown",
-        PAPER["ket.uvm_noncc_slowdown"].value,
-        float(np.mean(uvm_base)),
+    figure.add_paper_comparison(
+        "UVM non-CC mean slowdown", float(np.mean(uvm_base))
     )
-    figure.add_comparison(
-        "UVM CC mean slowdown",
-        PAPER["ket.uvm_cc_mean_slowdown"].value,
-        float(np.mean(uvm_cc)),
+    figure.add_paper_comparison(
+        "UVM CC mean slowdown", float(np.mean(uvm_cc))
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "UVM CC max slowdown (2dconv; paper value is pathological thrash)",
-        PAPER["ket.uvm_cc_max_slowdown"].value,
         max(uvm_cc),
     )
-    figure.add_comparison(
-        "UVM CC min slowdown",
-        PAPER["ket.uvm_cc_min_slowdown"].value,
-        min(uvm_cc),
-    )
+    figure.add_paper_comparison("UVM CC min slowdown", min(uvm_cc))
     return figure
 VARIANTS = {"": generate}
 

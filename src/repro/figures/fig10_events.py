@@ -17,7 +17,6 @@ from .. import units
 from ..config import SystemConfig
 from ..core import kernel_to_launch_ratio
 from ..cuda import run_app
-from ..profiler import EventKind
 from ..workloads import CATALOG, FIG10_APPS
 from .common import FigureResult, dispatch
 
@@ -76,12 +75,12 @@ def generate(apps: Optional[Dict[str, str]] = None) -> FigureResult:
         ],
     )
     if "A" in klrs and "C" in klrs:
-        figure.add_comparison(
-            "KLR panel A >> panel C", 1.0, float(klrs["A"] > 5 * klrs["C"])
+        figure.add_paper_comparison(
+            "KLR panel A >> panel C", float(klrs["A"] > 5 * klrs["C"])
         )
     if "B" in klrs and "D" in klrs:
-        figure.add_comparison(
-            "KLR panel B > panel D", 1.0, float(klrs["B"] > klrs["D"])
+        figure.add_paper_comparison(
+            "KLR panel B > panel D", float(klrs["B"] > klrs["D"])
         )
     return figure
 VARIANTS = {"": generate}

@@ -69,14 +69,12 @@ def generate(app_names: Optional[Sequence[str]] = None) -> FigureResult:
             "means are over all points.",
         ],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "KLO CDF shifts right under CC (mean ratio > 1)",
-        1.0,
         means[("klo", "cc")] / means[("klo", "base")],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "KET distribution ~unchanged under CC (mean ratio)",
-        1.0048,
         means[("ket", "cc")] / means[("ket", "base")],
     )
     return figure

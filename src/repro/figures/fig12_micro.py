@@ -40,14 +40,12 @@ def generate_12a(launches_per_kernel: int = 100) -> FigureResult:
         columns=("mode", "launch_index", "klo_us"),
         rows=rows,
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "first-launch spike over steady (base)",
-        10.0,
         summary["base"]["first_k0"] / summary["base"]["steady_mean"],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "CC steady-state KLO ratio",
-        1.25,
         summary["cc"]["steady_mean"] / summary["base"]["steady_mean"],
     )
     return figure
@@ -88,14 +86,12 @@ def generate_12b(
         ],
     )
     cc_points = trends["cc"]
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "mean KLO at 1 launch / at max launches (CC)",
-        5.0,
         cc_points[0].mean_klo_ns / cc_points[-1].mean_klo_ns,
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "total KLO grows with launches (CC, max/min)",
-        10.0,
         cc_points[-1].total_klo_ns / cc_points[0].total_klo_ns,
     )
     return figure
@@ -140,14 +136,12 @@ def generate_12c(
     )
     key_long = (512 * units.MB, units.ms(100))
     key_short = (512 * units.MB, units.ms(1))
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "CC overlap speedup, 64 streams, KET 100ms vs 1ms (ratio > 1)",
-        1.0,
         observed[key_long + ("cc", 64)] / observed[key_short + ("cc", 64)],
     )
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "base vs CC overlap speedup at 64 streams, KET 1ms (base higher)",
-        1.0,
         observed[key_short + ("base", 64)] / observed[key_short + ("cc", 64)],
     )
     return figure

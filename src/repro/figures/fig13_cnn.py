@@ -8,7 +8,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..calibration import PAPER
 from ..config import SystemConfig
 from ..dnn import MODELS, train
 from .common import FigureResult, dispatch
@@ -81,20 +80,20 @@ def generate(model_names: Optional[Sequence[str]] = None) -> FigureResult:
     )
     mean_drop, max_drop = agg(pct_drop(64, "fp32"))
     mean_time, max_time = agg(pct_time(64, "fp32"))
-    figure.add_comparison("b64 fp32 CC throughput drop mean (%)",
-                          PAPER["cnn.b64_throughput_drop_mean"].value, 100 * mean_drop)
-    figure.add_comparison("b64 fp32 CC throughput drop max (%)",
-                          PAPER["cnn.b64_throughput_drop_max"].value, 100 * max_drop)
-    figure.add_comparison("b64 fp32 CC time increase mean (%)",
-                          PAPER["cnn.b64_time_increase_mean"].value, 100 * mean_time)
-    figure.add_comparison("b64 fp32 CC time increase max (%)",
-                          PAPER["cnn.b64_time_increase_max"].value, 100 * max_time)
+    figure.add_paper_comparison("b64 fp32 CC throughput drop mean (%)",
+                                100 * mean_drop)
+    figure.add_paper_comparison("b64 fp32 CC throughput drop max (%)",
+                                100 * max_drop)
+    figure.add_paper_comparison("b64 fp32 CC time increase mean (%)",
+                                100 * mean_time)
+    figure.add_paper_comparison("b64 fp32 CC time increase max (%)",
+                                100 * max_time)
     mean_drop_1024, _ = agg(pct_drop(1024, "fp32"))
     mean_time_1024, _ = agg(pct_time(1024, "fp32"))
-    figure.add_comparison("b1024 fp32 CC throughput drop mean (%)",
-                          PAPER["cnn.b1024_throughput_drop_mean"].value, 100 * mean_drop_1024)
-    figure.add_comparison("b1024 fp32 CC time increase mean (%)",
-                          PAPER["cnn.b1024_time_increase_mean"].value, 100 * mean_time_1024)
+    figure.add_paper_comparison("b1024 fp32 CC throughput drop mean (%)",
+                                100 * mean_drop_1024)
+    figure.add_paper_comparison("b1024 fp32 CC time increase mean (%)",
+                                100 * mean_time_1024)
     # AMP at 64 (vs CC fp32@64), paper's "AMP reduces CC throughput".
     amp_drop = [
         1
@@ -108,18 +107,14 @@ def generate(model_names: Optional[Sequence[str]] = None) -> FigureResult:
         - 1
         for n in model_names
     ]
-    figure.add_comparison("amp@64 CC throughput drop mean (%)",
-                          PAPER["cnn.amp_b64_throughput_drop_mean"].value,
-                          100 * float(np.mean(amp_drop)))
-    figure.add_comparison("amp@64 CC throughput drop max (%)",
-                          PAPER["cnn.amp_b64_throughput_drop_max"].value,
-                          100 * float(np.max(amp_drop)))
-    figure.add_comparison("amp@64 CC time increase mean (%)",
-                          PAPER["cnn.amp_b64_time_increase_mean"].value,
-                          100 * float(np.mean(amp_time)))
-    figure.add_comparison("amp@64 CC time increase max (%)",
-                          PAPER["cnn.amp_b64_time_increase_max"].value,
-                          100 * float(np.max(amp_time)))
+    figure.add_paper_comparison("amp@64 CC throughput drop mean (%)",
+                                100 * float(np.mean(amp_drop)))
+    figure.add_paper_comparison("amp@64 CC throughput drop max (%)",
+                                100 * float(np.max(amp_drop)))
+    figure.add_paper_comparison("amp@64 CC time increase mean (%)",
+                                100 * float(np.mean(amp_time)))
+    figure.add_paper_comparison("amp@64 CC time increase max (%)",
+                                100 * float(np.max(amp_time)))
     # CC AMP @1024 vs non-CC fp32 @1024 ("AMP becomes effective").
     amp_gain = [
         results[(n, 1024, "amp", "cc")].throughput_img_per_sec
@@ -133,18 +128,14 @@ def generate(model_names: Optional[Sequence[str]] = None) -> FigureResult:
         / results[(n, 1024, "fp32", "base")].epoch_time_sec
         for n in model_names
     ]
-    figure.add_comparison("amp@1024 CC vs base throughput gain mean (%)",
-                          PAPER["cnn.amp_b1024_throughput_gain_mean"].value,
-                          100 * float(np.mean(amp_gain)))
-    figure.add_comparison("amp@1024 CC vs base throughput gain max (%)",
-                          PAPER["cnn.amp_b1024_throughput_gain_max"].value,
-                          100 * float(np.max(amp_gain)))
-    figure.add_comparison("amp@1024 CC vs base time drop mean (%)",
-                          PAPER["cnn.amp_b1024_time_drop_mean"].value,
-                          100 * float(np.mean(amp_time_drop)))
-    figure.add_comparison("amp@1024 CC vs base time drop max (%)",
-                          PAPER["cnn.amp_b1024_time_drop_max"].value,
-                          100 * float(np.max(amp_time_drop)))
+    figure.add_paper_comparison("amp@1024 CC vs base throughput gain mean (%)",
+                                100 * float(np.mean(amp_gain)))
+    figure.add_paper_comparison("amp@1024 CC vs base throughput gain max (%)",
+                                100 * float(np.max(amp_gain)))
+    figure.add_paper_comparison("amp@1024 CC vs base time drop mean (%)",
+                                100 * float(np.mean(amp_time_drop)))
+    figure.add_paper_comparison("amp@1024 CC vs base time drop max (%)",
+                                100 * float(np.max(amp_time_drop)))
     # FP16 quantization vs AMP at 1024 (CC): further time reduction.
     fp16_drop = [
         1
@@ -152,12 +143,10 @@ def generate(model_names: Optional[Sequence[str]] = None) -> FigureResult:
         / results[(n, 1024, "amp", "cc")].epoch_time_sec
         for n in model_names
     ]
-    figure.add_comparison("fp16@1024 time drop vs AMP mean (%)",
-                          PAPER["cnn.fp16_b1024_time_drop_mean"].value,
-                          100 * float(np.mean(fp16_drop)))
-    figure.add_comparison("fp16@1024 time drop vs AMP max (%)",
-                          PAPER["cnn.fp16_b1024_time_drop_max"].value,
-                          100 * float(np.max(fp16_drop)))
+    figure.add_paper_comparison("fp16@1024 time drop vs AMP mean (%)",
+                                100 * float(np.mean(fp16_drop)))
+    figure.add_paper_comparison("fp16@1024 time drop vs AMP max (%)",
+                                100 * float(np.max(fp16_drop)))
     return figure
 VARIANTS = {"": generate}
 

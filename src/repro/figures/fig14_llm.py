@@ -57,9 +57,8 @@ def generate(batch_sizes: Optional[Sequence[int]] = None) -> FigureResult:
         rows=rows,
     )
     vllm_cells = [v for k, v in cells.items()]
-    figure.add_comparison(
+    figure.add_paper_comparison(
         "all vLLM speedups > 1 (fraction)",
-        1.0,
         sum(1 for v in vllm_cells if v > 1.0) / len(vllm_cells),
     )
     small = [b for b in batch_sizes if b <= 32]
@@ -70,15 +69,17 @@ def generate(batch_sizes: Optional[Sequence[int]] = None) -> FigureResult:
     bf16_wins_large = all(
         cells[(b, "bf16", "cc-off")] >= cells[(b, "awq", "cc-off")] for b in large
     )
-    figure.add_comparison("AWQ > BF16 at batch <= 32", 1.0, float(awq_wins_small))
-    figure.add_comparison("BF16 >= AWQ at batch 64/128", 1.0, float(bf16_wins_large))
+    figure.add_paper_comparison("AWQ > BF16 at batch <= 32", float(awq_wins_small))
+    figure.add_paper_comparison(
+        "BF16 >= AWQ at batch 64/128", float(bf16_wins_large)
+    )
     cc_below_off = sum(
         1
         for b in batch_sizes
         for q in ("bf16", "awq")
         if cells[(b, q, "cc-on")] <= cells[(b, q, "cc-off")]
     ) / (2 * len(batch_sizes))
-    figure.add_comparison("CC-on <= CC-off (fraction of cells)", 1.0, cc_below_off)
+    figure.add_paper_comparison("CC-on <= CC-off (fraction of cells)", cc_below_off)
     return figure
 VARIANTS = {"": generate}
 

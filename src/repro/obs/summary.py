@@ -26,7 +26,7 @@ that cycle one-directional.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .. import units
 from ..core.breakdown import CATEGORIES, breakdown

@@ -16,7 +16,7 @@ CUDA graphs instead of source-level kernel fusion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from .. import units
 from ..config import SystemConfig

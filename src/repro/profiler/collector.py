@@ -15,7 +15,7 @@ import json
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
-from ..obs.spans import SpanRecorder, layer_sort_key
+from ..obs.spans import SpanRecorder
 from .events import EventKind, TraceEvent
 
 # Exported process id (one simulated application per trace).

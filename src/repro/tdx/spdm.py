@@ -25,8 +25,8 @@ hypercall-mediated, so CC session setup is measurably slower — the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Generator, Optional
 
 from .. import units
 from ..config import SystemConfig

@@ -1,0 +1,158 @@
+"""Tests for the tolerance-aware payload differ (repro.check.differ)."""
+
+import math
+
+from repro.check.differ import (
+    PayloadDiff,
+    Tolerance,
+    diff_payloads,
+    render_report,
+)
+
+# ---------------------------------------------------------------------------
+# Tolerance.numbers_equal
+
+
+def test_exact_and_within_band_numbers_are_equal():
+    tol = Tolerance(rel=1e-9, abs=1e-12)
+    assert tol.numbers_equal(1.0, 1.0)
+    assert tol.numbers_equal(1.0, 1.0 + 1e-13)  # inside abs band
+    assert tol.numbers_equal(1e12, 1e12 * (1 + 1e-10))  # inside rel band
+
+
+def test_numbers_outside_both_bands_differ():
+    tol = Tolerance(rel=1e-9, abs=1e-12)
+    assert not tol.numbers_equal(1.0, 1.0001)
+    assert not tol.numbers_equal(0.0, 1.0)
+
+
+def test_zero_golden_uses_absolute_band():
+    tol = Tolerance(rel=1e-9, abs=1e-12)
+    assert tol.numbers_equal(0.0, 1e-15)
+    assert not tol.numbers_equal(0.0, 1e-6)
+
+
+def test_nan_equals_nan_but_not_numbers():
+    tol = Tolerance()
+    assert tol.numbers_equal(math.nan, math.nan)
+    assert not tol.numbers_equal(math.nan, 1.0)
+    assert not tol.numbers_equal(1.0, math.nan)
+
+
+def test_infinities_compare_exactly():
+    tol = Tolerance()
+    assert tol.numbers_equal(math.inf, math.inf)
+    assert not tol.numbers_equal(math.inf, -math.inf)
+    assert not tol.numbers_equal(math.inf, 1e308)
+
+
+def test_wide_band_accepts_drift():
+    assert Tolerance(rel=0.5).numbers_equal(10.0, 14.0)
+    assert not Tolerance(rel=0.5).numbers_equal(10.0, 21.0)
+
+
+# ---------------------------------------------------------------------------
+# diff_payloads
+
+
+PAYLOAD = {
+    "figure_id": "fig_x",
+    "rows": [["app", 1, 2.5], ["other", 3, 4.0]],
+    "notes": ["a note"],
+}
+
+
+def test_identical_payloads_are_clean():
+    assert diff_payloads(PAYLOAD, {**PAYLOAD}) == []
+
+
+def test_value_drift_reports_json_path():
+    current = {**PAYLOAD, "rows": [["app", 1, 2.6], ["other", 3, 4.0]]}
+    diffs = diff_payloads(PAYLOAD, current)
+    assert len(diffs) == 1
+    assert diffs[0].path == "$.rows[0][2]"
+    assert diffs[0].kind == "value"
+    assert diffs[0].golden == 2.5 and diffs[0].current == 2.6
+
+
+def test_drift_within_tolerance_is_clean():
+    current = {**PAYLOAD, "rows": [["app", 1, 2.5 * (1 + 1e-12)], ["other", 3, 4.0]]}
+    assert diff_payloads(PAYLOAD, current) == []
+    assert diff_payloads(PAYLOAD, current, Tolerance(rel=0.0, abs=0.0))
+
+
+def test_missing_and_extra_keys():
+    current = {k: v for k, v in PAYLOAD.items() if k != "notes"}
+    current["added"] = 1
+    kinds = {d.path: d.kind for d in diff_payloads(PAYLOAD, current)}
+    assert kinds == {"$.notes": "missing", "$.added": "extra"}
+
+
+def test_length_change_and_tail_items():
+    current = {**PAYLOAD, "rows": [["app", 1, 2.5]]}
+    diffs = diff_payloads(PAYLOAD, current)
+    assert [d.kind for d in diffs] == ["length"]
+
+
+def test_type_change_is_reported_not_crashed():
+    current = {**PAYLOAD, "notes": "a note"}
+    diffs = diff_payloads(PAYLOAD, current)
+    assert [d.kind for d in diffs] == ["type"]
+    assert "list became str" in diffs[0].detail
+
+
+def test_bool_is_not_numerically_equal_to_int():
+    diffs = diff_payloads({"v": 1}, {"v": True})
+    assert [d.kind for d in diffs] == ["type"]
+
+
+def test_int_float_same_value_are_equal():
+    assert diff_payloads({"v": 1}, {"v": 1.0}) == []
+
+
+def test_nan_payload_reproduces_cleanly():
+    assert diff_payloads({"v": math.nan}, {"v": math.nan}) == []
+    assert len(diff_payloads({"v": math.nan}, {"v": 0.0})) == 1
+
+
+# ---------------------------------------------------------------------------
+# render_report
+
+
+def _payload_diff(**kwargs):
+    base = dict(
+        figure_id="fig_x",
+        golden_path="results/golden/fig_x.json",
+        current_path="results/fig_x.json",
+    )
+    base.update(kwargs)
+    return PayloadDiff(**base)
+
+
+def test_render_clean_report():
+    report = render_report([_payload_diff()])
+    assert "no drift" in report
+
+
+def test_render_unified_diff_markers():
+    diffs = diff_payloads(PAYLOAD, {**PAYLOAD, "notes": ["edited"]})
+    report = render_report([_payload_diff(differences=diffs)])
+    assert "--- results/golden/fig_x.json" in report
+    assert "+++ results/fig_x.json" in report
+    assert "@ $.notes[0] (value)" in report
+    assert "- 'a note'" in report
+    assert "+ 'edited'" in report
+    assert "1 figure(s) drifted, 1 difference(s) total" in report
+
+
+def test_render_truncates_long_diff_lists():
+    diffs = diff_payloads(
+        {"rows": list(range(100))}, {"rows": [v + 1 for v in range(100)]}
+    )
+    report = render_report([_payload_diff(differences=diffs)], max_per_figure=5)
+    assert "... and 95 more difference(s)" in report
+
+
+def test_render_reports_golden_errors():
+    report = render_report([_payload_diff(error="no golden snapshot")])
+    assert "!! no golden snapshot" in report

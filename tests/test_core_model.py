@@ -1,6 +1,5 @@
 """Tests for the Sec.-V performance model and Fig.-1 breakdown."""
 
-import pytest
 
 from repro import units
 from repro.config import SystemConfig

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import units
-from repro.config import CopyKind, MemoryKind, SystemConfig
+from repro.config import SystemConfig
 from repro.cuda import Machine, run_app, run_base_and_cc
 from repro.gpu import KernelSpec, nanosleep_kernel
 from repro.profiler import EventKind

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import SystemConfig
-from repro.dnn import MODELS, MODEL_NAMES, get, train
+from repro.dnn import MODEL_NAMES, get, train
 
 
 def test_model_zoo_complete():

@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.dnn import data_parallel_train, get
-from repro.multigpu import LinkSecurity
 
 MODEL = get("resnet50")
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import units
 from repro.llm import KVCacheError, OutOfBlocksError, PagedKVCache
 
 

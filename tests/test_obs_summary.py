@@ -6,7 +6,6 @@ import json
 import pytest
 
 from repro import units
-from repro.config import SystemConfig
 from repro.core.breakdown import CATEGORIES, breakdown
 from repro.core.metrics import kernel_metrics, launch_metrics
 from repro.core.model import decompose

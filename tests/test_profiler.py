@@ -5,7 +5,6 @@ import json
 
 import pytest
 
-from repro import units
 from repro.config import CopyKind, MemoryKind
 from repro.profiler import (
     EventKind,

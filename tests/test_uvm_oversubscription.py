@@ -3,7 +3,6 @@ the thrash regime behind the paper's most extreme Fig. 9 datapoint)."""
 
 import dataclasses
 
-import pytest
 
 from repro import units
 from repro.config import SystemConfig
