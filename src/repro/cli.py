@@ -23,6 +23,12 @@ attest [--cc]
     Run the SPDM GPU attestation flow and report its cost.
 faults APP [--cc] [--uvm] [--fault-plan P.json | --fault-rate R]
     Run one app under a fault plan and print the per-site report.
+serve [--rate R] [--duration 2s] [--tenants N] [--policy fcfs|spf]
+        [--seed N] [--cc] [--process poisson|gamma] [--preemption
+        swap|recompute] [--verdict OUT.json] [--trace OUT.json] [--json]
+    Simulate a multi-tenant continuous-batching serving scenario
+    (repro.serve) and print its SLO summary; the verdict JSON is
+    byte-deterministic for a given flag set.
 trace export APP -o OUT.json [--cc] [--uvm] ...
     Run one app and write its full observability record (events,
     spans, metrics) as Perfetto-loadable Chrome-trace JSON.
@@ -207,7 +213,13 @@ def _figures_module():
 
 
 def cmd_figures(args) -> int:
-    from .figures import extensions
+    from .figures import ext_serving, extensions
+
+    def _ext_result(ext_name):
+        # "serving" lives in its own module (it layers on repro.serve).
+        if ext_name == "serving":
+            return ext_serving.generate_serving()
+        return getattr(extensions, f"generate_{ext_name}")()
 
     names = args.ids or sorted(_FAST_FIGURES)
     for name in names:
@@ -216,16 +228,17 @@ def cmd_figures(args) -> int:
         elif name in ("fig12c", "fig13", "fig14"):
             result = _SLOW_FIGURES[name]()
         elif name == "ext":
-            for ext_name in _EXTENSIONS:
-                result = getattr(extensions, f"generate_{ext_name}")()
+            for ext_name in (*_EXTENSIONS, "serving"):
+                result = _ext_result(ext_name)
                 print(result.to_text())
                 print(f"[saved] {result.save(args.out)}\n")
             continue
-        elif name in _EXTENSIONS:
-            result = getattr(extensions, f"generate_{name}")()
+        elif name in _EXTENSIONS or name == "serving":
+            result = _ext_result(name)
         else:
-            print(f"unknown figure {name!r}; known: "
-                  f"{sorted(_FAST_FIGURES) + sorted(_SLOW_FIGURES) + list(_EXTENSIONS)}",
+            known = (sorted(_FAST_FIGURES) + sorted(_SLOW_FIGURES)
+                     + list(_EXTENSIONS) + ["serving"])
+            print(f"unknown figure {name!r}; known: {known}",
                   file=sys.stderr)
             return 2
         print(result.to_text())
@@ -495,6 +508,68 @@ def _run_traced(args, cc: bool, label_suffix: str = ""):
     return machine.trace
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: one multi-tenant serving scenario + verdict."""
+    from .serve import (
+        ScenarioSpec,
+        parse_duration_ns,
+        run_scenario,
+        verdict_json,
+    )
+
+    try:
+        duration_ns = parse_duration_ns(args.duration)
+        spec = ScenarioSpec(
+            rate_rps=args.rate,
+            duration_ns=duration_ns,
+            tenants=args.tenants,
+            policy=args.policy,
+            seed=args.seed if args.seed is not None else 42,
+            process=args.process,
+            max_num_seqs=args.max_num_seqs,
+            max_batch_tokens=args.max_batch_tokens,
+            preemption=args.preemption,
+            kv_budget_bytes=args.kv_budget_mib * units.MiB,
+        )
+        trace, result = run_scenario(spec, _config(args))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    report = result.report
+    mode = "cc" if result.cc else "base"
+    print(
+        f"serve[{mode}] policy={spec.policy} rate={spec.rate_rps:g} rps "
+        f"x {spec.tenants} tenants ({spec.process}), seed {spec.seed}"
+    )
+    print(
+        f"  requests {result.requests}  completed {report['completed']}  "
+        f"rejected {report['rejected']}  "
+        f"preemptions {result.engine.stats['preemptions']}"
+    )
+    print(
+        f"  goodput {report['goodput_rps']:.2f} rps  "
+        f"throughput {report['throughput_tok_s']:.0f} tok/s  "
+        f"elapsed {units.to_ms(result.engine.elapsed_ns):.1f} ms"
+    )
+    print(
+        f"  ttft p50/p99 {report['ttft_ms']['p50']:.2f}/"
+        f"{report['ttft_ms']['p99']:.2f} ms  "
+        f"tpot p50/p99 {report['tpot_ms']['p50']:.2f}/"
+        f"{report['tpot_ms']['p99']:.2f} ms"
+    )
+    payload = verdict_json(result)
+    if args.verdict:
+        with open(args.verdict, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"verdict -> {args.verdict}")
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(trace.to_chrome_trace())
+        print(f"chrome trace -> {args.trace}")
+    if args.json:
+        print(payload)
+    return 0
+
+
 def cmd_trace(args) -> int:
     from .obs import summary
     from .profiler import load_chrome_trace, validate_chrome_trace
@@ -633,6 +708,38 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--cc", action="store_true")
     faults_p.add_argument("--uvm", action="store_true")
     _add_fault_args(faults_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="simulate a multi-tenant serving scenario (repro.serve)",
+    )
+    serve_p.add_argument("--rate", type=float, default=8.0,
+                         help="total offered arrival rate, req/s (default 8)")
+    serve_p.add_argument("--duration", default="2s", metavar="DUR",
+                         help="arrival window, e.g. 2s or 500ms (default 2s)")
+    serve_p.add_argument("--tenants", type=int, default=2,
+                         help="number of tenants sharing the rate (default 2)")
+    serve_p.add_argument("--policy", choices=("fcfs", "spf"), default="fcfs",
+                         help="admission order (default fcfs)")
+    serve_p.add_argument("--process", choices=("poisson", "gamma"),
+                         default="poisson",
+                         help="arrival process (gamma = bursty)")
+    serve_p.add_argument("--cc", action="store_true")
+    serve_p.add_argument("--seed", type=int, default=None,
+                         help="arrival + platform seed (default 42)")
+    serve_p.add_argument("--max-num-seqs", type=int, default=16)
+    serve_p.add_argument("--max-batch-tokens", type=int, default=2048)
+    serve_p.add_argument("--preemption", choices=("swap", "recompute"),
+                         default="swap",
+                         help="KV-exhaustion policy (default swap)")
+    serve_p.add_argument("--kv-budget-mib", type=int, default=96,
+                         help="KV-cache HBM budget in MiB (default 96)")
+    serve_p.add_argument("--verdict", default="", metavar="OUT.json",
+                         help="write the deterministic verdict JSON here")
+    serve_p.add_argument("--trace", default="", metavar="OUT.json",
+                         help="write the chrome trace here")
+    serve_p.add_argument("--json", action="store_true",
+                         help="print the verdict JSON to stdout")
 
     trace_p = sub.add_parser(
         "trace", help="export / summarize / diff observability traces"
@@ -790,6 +897,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "report": cmd_report,
     "check": cmd_check,
+    "serve": cmd_serve,
     "trace": cmd_trace,
     "analyze": cmd_analyze,
     "whatif": cmd_whatif,

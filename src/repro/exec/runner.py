@@ -95,6 +95,9 @@ GRID: Dict[str, CellSpec] = _cells(
         CellSpec(f"ext_{name}", "extensions", variant=name, slow=True)
         for name in _EXTENSION_NAMES
     ],
+    # The serving extension lives in its own figure module (it layers
+    # on repro.serve rather than the single-app extension harness).
+    CellSpec("ext_serving", "ext_serving", slow=True),
     # Harness self-test hook: a cell that always raises, so tests can
     # assert one crashing cell doesn't poison the pool.
     CellSpec("selftest_boom", "", variant="boom", hidden=True),

@@ -28,6 +28,7 @@ from .. import units
 from ..config import SystemConfig
 from ..cuda import CudaRuntime, run_app
 from ..gpu import KernelSpec
+from ..obs.metrics import percentile
 from .config import BF16, LlamaConfig, QuantConfig
 from .kvcache import PagedKVCache
 
@@ -85,20 +86,13 @@ class ServeResult:
     def tokens_per_sec(self) -> float:
         return self.total_tokens / units.to_sec(self.elapsed_ns)
 
-    def _percentile(self, samples: tuple, pct: float) -> float:
-        if not samples:
-            return 0.0
-        ordered = sorted(samples)
-        index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
-        return float(ordered[index])
-
     def ttft_ms(self, pct: float = 50) -> float:
         """Time-to-first-token percentile in milliseconds."""
-        return units.to_ms(int(self._percentile(self.ttft_ns, pct)))
+        return units.to_ms(int(percentile(self.ttft_ns, pct)))
 
     def e2e_latency_ms(self, pct: float = 50) -> float:
         """Request end-to-end latency percentile in milliseconds."""
-        return units.to_ms(int(self._percentile(self.e2e_ns, pct)))
+        return units.to_ms(int(percentile(self.e2e_ns, pct)))
 
 
 class _BackendBase:
@@ -152,6 +146,17 @@ class _BackendBase:
         return KernelSpec(
             name=f"prefill_{self.quant.name}", fixed_duration_ns=int(compute_ns) + gpu.kernel_fixed_ns
         )
+
+    # Public kernel builders for external schedulers (repro.serve
+    # issues work through these so every step pays the same roofline).
+
+    def decode_kernel(
+        self, config: SystemConfig, batch: int, avg_context: float
+    ) -> KernelSpec:
+        return self._decode_step_kernel(config, batch, avg_context)
+
+    def prefill_kernel(self, config: SystemConfig, tokens: int) -> KernelSpec:
+        return self._prefill_kernel(config, tokens)
 
     def serve(
         self,

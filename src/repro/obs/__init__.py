@@ -23,7 +23,7 @@ an observability hook, so a run with tracing enabled is byte-identical
 in timing to one with tracing disabled (guarded by a benchmark test).
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
 from .spans import CANONICAL_LAYERS, Span, SpanRecorder, layer_sort_key
 
 __all__ = [
@@ -35,4 +35,5 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "layer_sort_key",
+    "percentile",
 ]

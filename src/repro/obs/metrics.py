@@ -12,9 +12,24 @@ registry can never perturb simulated timings.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
+
+
+def percentile(values: Sequence[Number], pct: float) -> float:
+    """Nearest-rank percentile over raw samples.
+
+    Uses the same convention as the serving results (index
+    ``min(n - 1, int(pct / 100 * n))``) so every percentile reported
+    anywhere in the repo reduces identically. Returns 0.0 on empty
+    input.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
+    return float(ordered[index])
 
 
 class Metric:
@@ -96,6 +111,27 @@ class Histogram(Metric):
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of the raw observations."""
+        return percentile(self.values, pct)
+
+    def summary(self) -> Dict[str, float]:
+        """Distribution summary: count, mean, min/max and p50/p95/p99."""
+        if not self.values:
+            return {
+                "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "min": float(min(self.values)),
+            "max": float(max(self.values)),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

@@ -25,7 +25,6 @@ from .flamegraph import (
     tree_from_spans,
 )
 from .importers import (
-    ImportError_,
     TraceImportError,
     from_chrome_trace,
     from_rows,
@@ -36,7 +35,6 @@ from .schema import assert_valid_chrome_trace, validate_chrome_trace
 __all__ = [
     "EventKind",
     "FlameNode",
-    "ImportError_",
     "MetricsRegistry",
     "Span",
     "SpanRecorder",

@@ -32,10 +32,6 @@ class TraceImportError(ValueError):
     """Malformed trace input."""
 
 
-# Deprecated alias, kept for callers of the pre-rename API.
-ImportError_ = TraceImportError
-
-
 _KIND_BY_NAME = {kind.value: kind for kind in EventKind}
 _COPY_BY_NAME = {kind.value: kind for kind in CopyKind}
 _MEMORY_BY_NAME = {kind.value: kind for kind in MemoryKind}

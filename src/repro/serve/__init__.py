@@ -1,0 +1,92 @@
+"""Multi-tenant CC inference serving simulator.
+
+The paper dissects single-job CC overheads; this package drives the
+same simulated stack with an *open-loop stream of competing requests*
+— the serving regime where "The Serialized Bridge" (Yin & Wang, 2026)
+finds that per-iteration host<->device round-trips dominate end-to-end
+CC cost.  Pipeline:
+
+    arrivals -> admission control -> continuous batching -> backend
+             -> KV pager (swap / recompute preemption) -> SLO report
+
+* :mod:`repro.serve.arrivals` — seeded Poisson/Gamma per-tenant
+  arrival processes with named prompt/output length traces.
+* :mod:`repro.serve.scheduler` — the pure iteration-level batching
+  core plus the :class:`ServingEngine` CUDA application that pays
+  every simulated CC cost (bounce staging, AES-GCM, hypercalls,
+  launch tax) per iteration.
+* :mod:`repro.serve.kvpager` — paged KV allocation with
+  swap-vs-recompute preemption; swap traffic rides the encrypted
+  PCIe path.
+* :mod:`repro.serve.slo` — TTFT/TPOT/E2E histograms and goodput.
+* :mod:`repro.serve.scenario` — one-call scenario runner shared by
+  ``repro serve``, the ``ext_serving`` figure and the tests.
+"""
+
+from .arrivals import (
+    ARRIVAL_PROCESSES,
+    TRACES,
+    ArrivalError,
+    LengthTrace,
+    ServeRequest,
+    TenantSpec,
+    default_tenants,
+    generate_arrivals,
+    stream_digest,
+    tenant_rng,
+)
+from .kvpager import KVPager, PagerStats, PreemptPlan, RestorePlan
+from .scenario import (
+    ScenarioResult,
+    ScenarioSpec,
+    parse_duration_ns,
+    predicted_step_cc_overhead_ns,
+    run_scenario,
+    scenario_verdict,
+    verdict_json,
+)
+from .scheduler import (
+    POLICIES,
+    ContinuousBatchingScheduler,
+    EngineResult,
+    IterationPlan,
+    SchedulerConfig,
+    ServingEngine,
+    SERVE_MODEL,
+)
+from .slo import RequestOutcome, SLOTargets, SLOTracker, build_report
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalError",
+    "ContinuousBatchingScheduler",
+    "EngineResult",
+    "IterationPlan",
+    "KVPager",
+    "LengthTrace",
+    "POLICIES",
+    "PagerStats",
+    "PreemptPlan",
+    "RequestOutcome",
+    "RestorePlan",
+    "SERVE_MODEL",
+    "SLOTargets",
+    "SLOTracker",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SchedulerConfig",
+    "ServeRequest",
+    "ServingEngine",
+    "TRACES",
+    "TenantSpec",
+    "build_report",
+    "default_tenants",
+    "generate_arrivals",
+    "parse_duration_ns",
+    "predicted_step_cc_overhead_ns",
+    "run_scenario",
+    "scenario_verdict",
+    "stream_digest",
+    "tenant_rng",
+    "verdict_json",
+]

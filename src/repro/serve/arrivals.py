@@ -1,0 +1,213 @@
+"""Open-loop request arrival generation for the serving simulator.
+
+Arrivals are generated ahead of the run (open loop: the workload does
+not slow down when the server saturates — exactly the regime where
+"The Serialized Bridge" finds CC knees).  Each tenant draws from its
+own deterministic RNG substream keyed on ``(seed, tenant name)`` via
+SHA-256 (same construction as the faults subsystem's per-site
+substreams), so:
+
+* two processes with the same seed produce byte-identical streams, and
+* adding or removing one tenant never perturbs another tenant's
+  arrivals or sampled lengths.
+
+Two arrival processes are modeled: ``poisson`` (exponential
+inter-arrival gaps) and ``gamma`` (bursty: same mean rate, heavier
+clumping controlled by ``burstiness`` = squared coefficient of
+variation of the gaps).  Prompt/output lengths come from named
+:data:`TRACES` (lognormal fits of chat / code-assist / summarization
+shapes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .. import units
+
+ARRIVAL_PROCESSES = ("poisson", "gamma")
+
+
+class ArrivalError(ValueError):
+    """Invalid tenant or trace specification."""
+
+
+@dataclass(frozen=True)
+class LengthTrace:
+    """Lognormal prompt/output length model for one workload family."""
+
+    name: str
+    prompt_mean: float
+    prompt_cv: float  # coefficient of variation of prompt length
+    gen_mean: float
+    gen_cv: float
+    prompt_max: int = 2048
+    gen_max: int = 512
+
+    @staticmethod
+    def _lognormal(rng: np.random.Generator, mean: float, cv: float) -> float:
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        return float(rng.lognormal(mu, math.sqrt(sigma2)))
+
+    def sample(self, rng: np.random.Generator) -> Tuple[int, int]:
+        """Draw one (prompt_tokens, gen_tokens) pair, clamped to >= 1."""
+        prompt = int(self._lognormal(rng, self.prompt_mean, self.prompt_cv))
+        gen = int(self._lognormal(rng, self.gen_mean, self.gen_cv))
+        return (
+            max(1, min(prompt, self.prompt_max)),
+            max(1, min(gen, self.gen_max)),
+        )
+
+
+TRACES: Dict[str, LengthTrace] = {
+    "chat": LengthTrace("chat", prompt_mean=96, prompt_cv=0.6,
+                        gen_mean=64, gen_cv=0.7),
+    "code": LengthTrace("code", prompt_mean=256, prompt_cv=0.8,
+                        gen_mean=96, gen_cv=0.6),
+    "summarize": LengthTrace("summarize", prompt_mean=512, prompt_cv=0.5,
+                             gen_mean=48, gen_cv=0.5),
+}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's offered load: rate, arrival process, length trace."""
+
+    name: str
+    rate_rps: float
+    trace: str = "chat"
+    process: str = "poisson"
+    burstiness: float = 4.0  # gamma only: CV^2 of inter-arrival gaps
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ArrivalError("tenant name must be non-empty")
+        if self.rate_rps <= 0:
+            raise ArrivalError(f"tenant {self.name}: rate must be > 0")
+        if self.trace not in TRACES:
+            raise ArrivalError(
+                f"tenant {self.name}: unknown trace {self.trace!r} "
+                f"(have {sorted(TRACES)})"
+            )
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ArrivalError(
+                f"tenant {self.name}: unknown process {self.process!r}"
+            )
+        if self.process == "gamma" and self.burstiness <= 1.0:
+            raise ArrivalError(
+                f"tenant {self.name}: gamma burstiness must be > 1 "
+                "(use poisson for burstiness == 1)"
+            )
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One inference request in the open-loop stream."""
+
+    req_id: int
+    tenant: str
+    arrival_ns: int
+    prompt_tokens: int
+    gen_tokens: int
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.gen_tokens
+
+
+def tenant_rng(seed: int, tenant: str) -> np.random.Generator:
+    """Deterministic per-tenant substream, stable across processes."""
+    digest = hashlib.sha256(
+        f"repro.serve:{seed}:{tenant}".encode()
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def _interarrival_ns(spec: TenantSpec, rng: np.random.Generator) -> int:
+    mean_gap_s = 1.0 / spec.rate_rps
+    if spec.process == "poisson":
+        gap_s = rng.exponential(mean_gap_s)
+    else:  # gamma: shape k = 1/CV^2 keeps the mean, fattens the tail
+        shape = 1.0 / spec.burstiness
+        gap_s = rng.gamma(shape, mean_gap_s / shape)
+    return max(1, int(gap_s * units.NS_PER_SEC))
+
+
+def generate_arrivals(
+    tenants: Sequence[TenantSpec],
+    duration_ns: int,
+    seed: int,
+) -> List[ServeRequest]:
+    """Generate the merged, time-ordered open-loop request stream.
+
+    Request ids are assigned after the deterministic merge sort on
+    ``(arrival_ns, tenant name, per-tenant index)``, so ids are stable
+    even when two tenants collide on the same nanosecond.
+    """
+    if duration_ns <= 0:
+        raise ArrivalError("duration must be positive")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ArrivalError(f"duplicate tenant names in {names}")
+    raw: List[Tuple[int, str, int, int, int]] = []
+    for spec in tenants:
+        spec.validate()
+        rng = tenant_rng(seed, spec.name)
+        trace = TRACES[spec.trace]
+        now = 0
+        index = 0
+        while True:
+            now += _interarrival_ns(spec, rng)
+            if now >= duration_ns:
+                break
+            prompt, gen = trace.sample(rng)
+            raw.append((now, spec.name, index, prompt, gen))
+            index += 1
+    raw.sort(key=lambda row: (row[0], row[1], row[2]))
+    return [
+        ServeRequest(
+            req_id=i, tenant=tenant, arrival_ns=at,
+            prompt_tokens=prompt, gen_tokens=gen,
+        )
+        for i, (at, tenant, _idx, prompt, gen) in enumerate(raw)
+    ]
+
+
+def stream_digest(requests: Sequence[ServeRequest]) -> str:
+    """SHA-256 over the canonical stream encoding (determinism checks)."""
+    hasher = hashlib.sha256()
+    for r in requests:
+        hasher.update(
+            f"{r.req_id}:{r.tenant}:{r.arrival_ns}:"
+            f"{r.prompt_tokens}:{r.gen_tokens}\n".encode()
+        )
+    return hasher.hexdigest()
+
+
+def default_tenants(
+    total_rate_rps: float,
+    count: int,
+    process: str = "poisson",
+) -> List[TenantSpec]:
+    """Split a total offered rate across ``count`` tenants round-robin
+    over the named traces (chat, code, summarize, chat, ...)."""
+    if count <= 0:
+        raise ArrivalError("tenant count must be positive")
+    if total_rate_rps <= 0:
+        raise ArrivalError("total rate must be positive")
+    trace_names = ["chat", "code", "summarize"]
+    return [
+        TenantSpec(
+            name=f"tenant{i}",
+            rate_rps=total_rate_rps / count,
+            trace=trace_names[i % len(trace_names)],
+            process=process,
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,497 @@
+"""Admission control + continuous-batching scheduler + serving engine.
+
+Two layers, deliberately separated:
+
+* :class:`ContinuousBatchingScheduler` — the *pure* decision core
+  (iteration-level batching à la Orca/vLLM).  It owns the waiting /
+  running / warming / evicted request states and a :class:`KVPager`,
+  and each call to :meth:`plan` produces one iteration's worth of
+  decisions (preemptions, restores, admissions, prefill-token chunks,
+  decode batch) while maintaining the invariants the property tests
+  pin down: the token budget ``prefill + decode <= max_batch_tokens``
+  is never exceeded, decode never runs out of KV blocks, no request is
+  starved under FCFS, and the allocator balance is zero at drain.  No
+  simulation imports — tests drive it directly.
+* :class:`ServingEngine` — the CUDA-runtime application that *pays*
+  for each plan through the simulated CC stack: prompt uploads and
+  per-step token downloads through the (bounce-buffered, AES-GCM)
+  PCIe path, prefill/decode kernels via the
+  :class:`~repro.llm.backends.VLLMBackend` roofline, per-iteration
+  scheduler bookkeeping on the guest CPU, and KV swap traffic for
+  preemptions.  Under CC every one of those arrows crosses the
+  "serialized bridge", which is what moves the throughput knee.
+
+Scheduling policies: ``fcfs`` (arrival order) and ``spf``
+(shortest-prompt-first).  Both are head-of-line: if the next candidate
+does not fit (seats, KV blocks, token budget), admission stops rather
+than skipping it — the no-starvation guarantee under FCFS.
+
+Recompute-mode restores re-enter through a *warming* state: their
+recomputed prefill is chunked across iterations against the token
+budget (chunked prefill), so even a sequence longer than
+``max_batch_tokens`` makes progress without ever violating the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from .. import units
+from ..config import SystemConfig
+from ..cuda import CudaRuntime, run_app
+from ..llm.backends import VLLM_STEP_SCHED_NS, VLLMBackend
+from ..llm.config import BF16, LlamaConfig, QuantConfig
+from .arrivals import ServeRequest
+from .kvpager import KVPager, PreemptPlan, RestorePlan
+from .slo import RequestOutcome, SLOTargets, SLOTracker
+
+POLICIES = ("fcfs", "spf")
+
+# Host<->device staging chunk for KV swap traffic (per memcpy call).
+SWAP_CHUNK_BYTES = 1 * units.MiB
+
+
+class SchedulerError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Continuous-batching knobs."""
+
+    policy: str = "fcfs"
+    max_num_seqs: int = 16
+    max_batch_tokens: int = 2048
+    preemption: str = "swap"  # or "recompute"
+
+    def validate(self) -> None:
+        if self.policy not in POLICIES:
+            raise SchedulerError(
+                f"unknown policy {self.policy!r} (have {POLICIES})"
+            )
+        if self.max_num_seqs < 1:
+            raise SchedulerError("max_num_seqs must be >= 1")
+        if self.max_batch_tokens <= self.max_num_seqs:
+            raise SchedulerError(
+                "max_batch_tokens must exceed max_num_seqs "
+                "(every resident sequence decodes one token per step)"
+            )
+        if self.preemption not in ("swap", "recompute"):
+            raise SchedulerError(
+                f"unknown preemption mode {self.preemption!r}"
+            )
+
+
+@dataclass
+class IterationPlan:
+    """One engine iteration's decisions (costs paid by the engine)."""
+
+    preempted: List[PreemptPlan] = field(default_factory=list)
+    restored: List[RestorePlan] = field(default_factory=list)
+    admitted: List[ServeRequest] = field(default_factory=list)
+    # Prefill tokens this iteration: admitted prompts + warming chunks.
+    prefill_tokens: int = 0
+    decode_ids: List[int] = field(default_factory=list)
+
+    @property
+    def busy(self) -> bool:
+        return bool(
+            self.preempted
+            or self.restored
+            or self.admitted
+            or self.prefill_tokens
+            or self.decode_ids
+        )
+
+
+class ContinuousBatchingScheduler:
+    """Pure iteration-level batching core over a :class:`KVPager`."""
+
+    def __init__(self, config: SchedulerConfig, pager: KVPager) -> None:
+        config.validate()
+        if config.preemption != pager.mode:
+            raise SchedulerError(
+                f"scheduler preemption {config.preemption!r} does not "
+                f"match pager mode {pager.mode!r}"
+            )
+        self.config = config
+        self.pager = pager
+        self.waiting: List[ServeRequest] = []
+        self.running: Dict[int, ServeRequest] = {}  # admission-ordered
+        self.warming: Dict[int, int] = {}  # sid -> pending recompute tokens
+        self.evicted: List[int] = []  # FIFO restore order
+        self.rejected: List[ServeRequest] = []
+        self.requests: Dict[int, ServeRequest] = {}
+        self.preempt_counts: Dict[int, int] = {}
+        self.admit_order: List[int] = []  # admission history (tests)
+        self._order: Dict[int, int] = {}  # sid -> admission index
+        self._next_order = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running or self.warming or self.evicted)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self.running) + len(self.warming)
+
+    # -- admission control -------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> bool:
+        """Admission control at arrival: reject requests that could
+        never run (KV footprint over capacity, or prompt that cannot
+        fit the token budget alongside a single decode slot)."""
+        if (
+            not self.pager.fits(request.total_tokens)
+            or request.prompt_tokens + 1 > self.config.max_batch_tokens
+        ):
+            self.rejected.append(request)
+            return False
+        self.waiting.append(request)
+        return True
+
+    def _candidates(self) -> List[ServeRequest]:
+        if self.config.policy == "spf":
+            return sorted(
+                self.waiting, key=lambda r: (r.prompt_tokens, r.req_id)
+            )
+        return list(self.waiting)
+
+    # -- the iteration planner ---------------------------------------------
+
+    def _decode_block_needs(self) -> int:
+        """Blocks the coming decode steps may allocate.  Warming
+        sequences are counted too: they do not decode yet, but their
+        first decode after warmup must never find the pool empty."""
+        ids = list(self.running) + list(self.warming)
+        return self.pager.decode_blocks_needed(ids)
+
+    def _headroom_deficit(self) -> int:
+        """Blocks still missing for the coming decode step."""
+        return self._decode_block_needs() - self.pager.free_blocks
+
+    def _preempt_for_headroom(self, plan: IterationPlan) -> None:
+        """Evict most-recently-admitted residents until the next decode
+        step cannot run out of blocks."""
+        while self._headroom_deficit() > 0:
+            victims = sorted(
+                list(self.running) + list(self.warming),
+                key=lambda sid: self._order[sid],
+            )
+            victim = victims[-1]
+            self.running.pop(victim, None)
+            self.warming.pop(victim, None)
+            plan.preempted.append(self.pager.preempt(victim))
+            self.evicted.append(victim)
+            self.preempt_counts[victim] = self.preempt_counts.get(victim, 0) + 1
+
+    def _fits_next(self, prompt_blocks: int, boundary: bool) -> bool:
+        """Would admitting a member leave decode headroom intact?"""
+        free_after = self.pager.free_blocks - prompt_blocks
+        needed_after = self._decode_block_needs() + (1 if boundary else 0)
+        return free_after >= needed_after
+
+    def _mark_admitted(self, sid: int) -> None:
+        self._order[sid] = self._next_order
+        self._next_order += 1
+
+    def plan(self) -> IterationPlan:
+        """Produce (and commit) one iteration's scheduling decisions."""
+        plan = IterationPlan()
+        budget = self.config.max_batch_tokens
+
+        # 1. Decode headroom for what is already resident.
+        self._preempt_for_headroom(plan)
+
+        # 2. Chunked recompute prefill for warming sequences (FIFO).
+        # One budget token is reserved per chunk for the decode slot the
+        # sequence occupies as soon as its warmup completes.
+        for sid in list(self.warming):
+            room = budget - len(self.running) - plan.prefill_tokens - 1
+            if room <= 0:
+                break
+            chunk = min(self.warming[sid], room)
+            self.warming[sid] -= chunk
+            plan.prefill_tokens += chunk
+            if self.warming[sid] == 0:
+                del self.warming[sid]
+                self.running[sid] = self.requests[sid]
+
+        # 3. Restores, FIFO over eviction order (they were admitted
+        #    before anything still waiting).
+        while self.evicted:
+            sid = self.evicted[0]
+            tokens = self.pager.evicted_tokens(sid)
+            if self.resident_count + 1 > self.config.max_num_seqs:
+                break
+            if not self.pager.can_restore(sid) or not self._fits_next(
+                self.pager.cache.blocks_needed(tokens),
+                tokens % self.pager.block_tokens == 0,
+            ):
+                break
+            if self.config.preemption == "recompute":
+                # Needs at least one token of budget to start warming
+                # (plus the reserved decode slot).
+                if budget - len(self.running) - plan.prefill_tokens - 1 < 1:
+                    break
+            else:
+                if plan.prefill_tokens + len(self.running) + 1 > budget:
+                    break
+            self.evicted.pop(0)
+            restore = self.pager.restore(sid)
+            plan.restored.append(restore)
+            if self.config.preemption == "recompute":
+                room = budget - len(self.running) - plan.prefill_tokens - 1
+                chunk = min(restore.recompute_tokens, room)
+                remaining = restore.recompute_tokens - chunk
+                plan.prefill_tokens += chunk
+                if remaining:
+                    self.warming[sid] = remaining
+                else:
+                    self.running[sid] = self.requests[sid]
+            else:
+                self.running[sid] = self.requests[sid]
+
+        # 4. Admissions from the wait queue (head-of-line per policy).
+        for request in self._candidates():
+            if self.resident_count + 1 > self.config.max_num_seqs:
+                break
+            boundary = request.prompt_tokens % self.pager.block_tokens == 0
+            if not self.pager.can_admit(request.prompt_tokens):
+                break
+            if not self._fits_next(
+                self.pager.cache.blocks_needed(request.prompt_tokens), boundary
+            ):
+                break
+            if (
+                plan.prefill_tokens
+                + request.prompt_tokens
+                + len(self.running)
+                + 1
+                > budget
+            ):
+                break
+            self.waiting.remove(request)
+            self.pager.admit(request.req_id, request.prompt_tokens)
+            self.requests[request.req_id] = request
+            self._mark_admitted(request.req_id)
+            self.admit_order.append(request.req_id)
+            self.running[request.req_id] = request
+            plan.admitted.append(request)
+            plan.prefill_tokens += request.prompt_tokens
+
+        plan.decode_ids = list(self.running)
+        assert plan.prefill_tokens + len(plan.decode_ids) <= budget, (
+            "batch token budget exceeded"
+        )
+        return plan
+
+    def finish_step(self, decode_ids: List[int]) -> List[int]:
+        """Account one generated token per decoding sequence; release
+        and return the sequences that just finished."""
+        finished = []
+        for sid in decode_ids:
+            self.pager.append_token(sid)
+            request = self.requests[sid]
+            generated = self.pager.sequence_length(sid) - request.prompt_tokens
+            if generated >= request.gen_tokens:
+                self.pager.release(sid)
+                del self.running[sid]
+                finished.append(sid)
+        return finished
+
+
+# -- the engine: pays for plans through the simulated CC stack -------------
+
+# A ~1B-parameter serving model: decode steps are ~1 ms, so the
+# fixed per-step CC costs (bounce staging + AES-GCM on the token
+# round-trip, launch hypercalls, command-processor auth) are a
+# double-digit fraction of the iteration — the regime where the
+# serialized bridge moves the throughput knee.
+SERVE_MODEL = LlamaConfig(
+    name="llama-serve-1b",
+    num_layers=16,
+    hidden_size=2048,
+    num_heads=16,
+    num_kv_heads=8,
+    head_dim=128,
+    intermediate_size=5632,
+    vocab_size=32000,
+)
+
+# KV budget: small enough that a busy multi-tenant mix actually pages.
+DEFAULT_KV_BUDGET_BYTES = 96 * units.MiB
+
+
+@dataclass
+class EngineResult:
+    """Everything one serving run produced."""
+
+    outcomes: List[RequestOutcome]
+    rejected: List[ServeRequest]
+    elapsed_ns: int
+    stats: Dict[str, int]
+
+
+class ServingEngine:
+    """Continuous-batching server as a CUDA-runtime application."""
+
+    def __init__(
+        self,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        model: Optional[LlamaConfig] = None,
+        quant: QuantConfig = BF16,
+        kv_budget_bytes: int = DEFAULT_KV_BUDGET_BYTES,
+        block_tokens: int = 16,
+        targets: Optional[SLOTargets] = None,
+    ) -> None:
+        self.scheduler_config = scheduler_config or SchedulerConfig()
+        self.scheduler_config.validate()
+        self.model = model or SERVE_MODEL
+        self.backend = VLLMBackend(model=self.model, quant=quant)
+        self.kv_budget_bytes = kv_budget_bytes
+        self.block_tokens = block_tokens
+        self.targets = targets or SLOTargets()
+
+    def run(
+        self,
+        config: SystemConfig,
+        requests: List[ServeRequest],
+        label: str = "serve",
+    ):
+        """Boot a machine and serve the stream; returns (trace, result)."""
+        return run_app(self.app, config, label=label, requests=requests)
+
+    def app(
+        self, rt: CudaRuntime, requests: List[ServeRequest]
+    ) -> Generator:
+        config = rt.config
+        metrics = rt.guest.metrics
+        pager = KVPager(
+            self.kv_budget_bytes,
+            self.block_tokens,
+            self.model.kv_bytes_per_token(),
+            mode=self.scheduler_config.preemption,
+        )
+        sched = ContinuousBatchingScheduler(self.scheduler_config, pager)
+        tracker = SLOTracker(metrics, self.targets)
+
+        prompt_host = yield from rt.malloc_host(4 * units.MiB)
+        token_host = yield from rt.malloc_host(64 * units.KiB)
+        scratch_dev = yield from rt.malloc(16 * units.MiB)
+        swap_host = yield from rt.malloc_host(SWAP_CHUNK_BYTES)
+        swap_dev = yield from rt.malloc(SWAP_CHUNK_BYTES)
+
+        pending = sorted(requests, key=lambda r: (r.arrival_ns, r.req_id))
+        index = 0
+        start = rt.sim.now
+        first_token: Dict[int, int] = {}
+        iterations = 0
+        decode_steps = 0
+
+        queue_gauge = metrics.gauge("serve.queue_depth")
+        kv_gauge = metrics.gauge("serve.kv_used_blocks")
+        running_gauge = metrics.gauge("serve.running_seqs")
+        preempt_counter = metrics.counter("serve.preemptions")
+        swap_counter = metrics.counter("serve.swap_bytes")
+
+        def chunked_copy(dst, src, total):
+            remaining = total
+            while remaining > 0:
+                size = min(remaining, SWAP_CHUNK_BYTES)
+                yield from rt.memcpy(dst, src, size)
+                remaining -= size
+
+        while True:
+            now = rt.sim.now
+            while index < len(pending) and pending[index].arrival_ns <= now:
+                sched.submit(pending[index])
+                index += 1
+            queue_gauge.set(len(sched.waiting))
+            if not sched.has_work():
+                if index >= len(pending):
+                    break
+                # Idle: jump to the next arrival.
+                yield rt.sim.timeout(pending[index].arrival_ns - now)
+                continue
+
+            plan = sched.plan()
+            if not plan.busy:
+                raise RuntimeError(
+                    "scheduler stalled with pending work (livelock)"
+                )
+            iterations += 1
+
+            for evict in plan.preempted:
+                preempt_counter.inc()
+                if evict.swap_bytes:
+                    swap_counter.inc(evict.swap_bytes)
+                    yield from chunked_copy(swap_host, swap_dev, evict.swap_bytes)
+            for restore in plan.restored:
+                if restore.swap_bytes:
+                    swap_counter.inc(restore.swap_bytes)
+                    yield from chunked_copy(swap_dev, swap_host, restore.swap_bytes)
+            if plan.admitted:
+                prompt_bytes = sum(r.prompt_tokens for r in plan.admitted) * 4
+                yield from rt.memcpy(scratch_dev, prompt_host, max(prompt_bytes, 64))
+            if plan.prefill_tokens:
+                yield from rt.launch(
+                    self.backend.prefill_kernel(config, plan.prefill_tokens)
+                )
+
+            # Iteration bookkeeping on the guest CPU.
+            yield from rt.cpu_gap(VLLM_STEP_SCHED_NS)
+
+            if plan.decode_ids:
+                decode_steps += 1
+                contexts = [pager.sequence_length(s) for s in plan.decode_ids]
+                yield from rt.launch(
+                    self.backend.decode_kernel(
+                        config, len(plan.decode_ids), float(np.mean(contexts))
+                    )
+                )
+                yield from rt.memcpy(
+                    token_host, scratch_dev, 4 * len(plan.decode_ids)
+                )
+                step_end = rt.sim.now
+                for sid in plan.decode_ids:
+                    first_token.setdefault(sid, step_end)
+                for sid in sched.finish_step(plan.decode_ids):
+                    request = sched.requests[sid]
+                    tracker.observe(
+                        RequestOutcome(
+                            req_id=sid,
+                            tenant=request.tenant,
+                            arrival_ns=request.arrival_ns,
+                            first_token_ns=first_token[sid],
+                            finish_ns=step_end,
+                            prompt_tokens=request.prompt_tokens,
+                            gen_tokens=request.gen_tokens,
+                            preemptions=sched.preempt_counts.get(sid, 0),
+                        )
+                    )
+            kv_gauge.set(pager.cache.used_blocks)
+            running_gauge.set(len(sched.running))
+
+        pager.check_invariants()
+        assert pager.drained(), "sequences left resident after drain"
+        yield from rt.synchronize()
+        elapsed = rt.sim.now - start
+        for buffer in (prompt_host, token_host, swap_host, scratch_dev, swap_dev):
+            yield from rt.free(buffer)
+        stats = {
+            "iterations": iterations,
+            "decode_steps": decode_steps,
+            "rejected": len(sched.rejected),
+            **pager.stats.as_dict(),
+        }
+        return EngineResult(
+            outcomes=tracker.outcomes,
+            rejected=sched.rejected,
+            elapsed_ns=elapsed,
+            stats=stats,
+        )

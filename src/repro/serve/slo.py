@@ -1,0 +1,155 @@
+"""SLO accounting for the serving simulator.
+
+Per-request latency decomposition in the standard serving vocabulary:
+
+* **TTFT** — time to first token (arrival -> first decode completes;
+  includes queueing, so it is the metric that blows up past the knee),
+* **TPOT** — time per output token after the first (steady decode
+  cadence; inflated by CC per-step staging/launch overheads),
+* **E2E** — arrival -> last token.
+
+**Goodput** counts only requests that met *both* the TTFT and TPOT
+targets — the metric under which CC saturates at a strictly lower
+arrival rate than native ("The Serialized Bridge").
+
+All samples are recorded into :class:`~repro.obs.MetricsRegistry`
+histograms (global and per-tenant), so reports reduce through the same
+nearest-rank percentile helper used everywhere else, and the Chrome
+trace carries queue-depth / KV-occupancy counter tracks next to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .. import units
+from ..obs.metrics import MetricsRegistry, percentile
+from .arrivals import ServeRequest
+
+
+@dataclass(frozen=True)
+class SLOTargets:
+    """Latency targets a request must meet to count toward goodput."""
+
+    ttft_ms: float = 400.0
+    tpot_ms: float = 60.0
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Completed-request record emitted by the serving engine."""
+
+    req_id: int
+    tenant: str
+    arrival_ns: int
+    first_token_ns: int  # absolute sim time of first emitted token
+    finish_ns: int  # absolute sim time of last token
+    prompt_tokens: int
+    gen_tokens: int
+    preemptions: int = 0
+
+    @property
+    def ttft_ns(self) -> int:
+        return self.first_token_ns - self.arrival_ns
+
+    @property
+    def e2e_ns(self) -> int:
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def tpot_ns(self) -> float:
+        """Mean inter-token gap after the first token."""
+        if self.gen_tokens <= 1:
+            return 0.0
+        return (self.finish_ns - self.first_token_ns) / (self.gen_tokens - 1)
+
+    def meets(self, targets: SLOTargets) -> bool:
+        return (
+            units.to_ms(self.ttft_ns) <= targets.ttft_ms
+            and units.to_ms(int(self.tpot_ns)) <= targets.tpot_ms
+        )
+
+
+class SLOTracker:
+    """Streams request outcomes into registry histograms."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        targets: Optional[SLOTargets] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.targets = targets or SLOTargets()
+        self.outcomes: List[RequestOutcome] = []
+
+    def observe(self, outcome: RequestOutcome) -> None:
+        self.outcomes.append(outcome)
+        for scope in ("serve", f"serve.{outcome.tenant}"):
+            self.metrics.histogram(f"{scope}.ttft_ms").observe(
+                units.to_ms(outcome.ttft_ns)
+            )
+            self.metrics.histogram(f"{scope}.tpot_ms").observe(
+                units.to_ms(int(outcome.tpot_ns))
+            )
+            self.metrics.histogram(f"{scope}.e2e_ms").observe(
+                units.to_ms(outcome.e2e_ns)
+            )
+        self.metrics.counter("serve.completed").inc()
+        if outcome.meets(self.targets):
+            self.metrics.counter("serve.slo_attained").inc()
+
+
+def _latency_block(samples: Sequence[float]) -> Dict[str, float]:
+    return {
+        "mean": (sum(samples) / len(samples)) if samples else 0.0,
+        "p50": percentile(samples, 50),
+        "p95": percentile(samples, 95),
+        "p99": percentile(samples, 99),
+    }
+
+
+def build_report(
+    outcomes: Sequence[RequestOutcome],
+    rejected: Sequence[ServeRequest],
+    duration_ns: int,
+    targets: SLOTargets,
+) -> Dict:
+    """Deterministic SLO report (plain dict, JSON-stable ordering is
+    the caller's job via ``sort_keys``)."""
+    duration_s = units.to_sec(duration_ns)
+    attained = [o for o in outcomes if o.meets(targets)]
+    tokens_out = sum(o.gen_tokens for o in outcomes)
+
+    def tenant_names() -> List[str]:
+        names = {o.tenant for o in outcomes} | {r.tenant for r in rejected}
+        return sorted(names)
+
+    def block(subset: Sequence[RequestOutcome]) -> Dict:
+        met = [o for o in subset if o.meets(targets)]
+        return {
+            "completed": len(subset),
+            "slo_attained": len(met),
+            "ttft_ms": _latency_block([units.to_ms(o.ttft_ns) for o in subset]),
+            "tpot_ms": _latency_block(
+                [units.to_ms(int(o.tpot_ns)) for o in subset]
+            ),
+            "e2e_ms": _latency_block([units.to_ms(o.e2e_ns) for o in subset]),
+        }
+
+    report = {
+        "targets": {"ttft_ms": targets.ttft_ms, "tpot_ms": targets.tpot_ms},
+        "duration_s": duration_s,
+        "offered": len(outcomes) + len(rejected),
+        "rejected": len(rejected),
+        "throughput_tok_s": tokens_out / duration_s if duration_s else 0.0,
+        "completed_rps": len(outcomes) / duration_s if duration_s else 0.0,
+        "goodput_rps": len(attained) / duration_s if duration_s else 0.0,
+        "total_preemptions": sum(o.preemptions for o in outcomes),
+        **block(outcomes),
+        "tenants": {
+            name: block([o for o in outcomes if o.tenant == name])
+            for name in tenant_names()
+        },
+    }
+    return report

@@ -186,3 +186,43 @@ def test_oom_exits_nonzero_with_diagnostic(capsys, monkeypatch):
     monkeypatch.setitem(cli._COMMANDS, "run", boom)
     assert main(["run", "2mm"]) == 1
     assert "error: OutOfMemoryError" in capsys.readouterr().err
+
+
+def test_serve_prints_summary(capsys):
+    assert main(["serve", "--rate", "8", "--duration", "500ms"]) == 0
+    out = capsys.readouterr().out
+    assert "serve[base] policy=fcfs rate=8" in out
+    assert "goodput" in out
+    assert "ttft p50/p99" in out
+
+
+def test_serve_cc_flag(capsys):
+    assert main(["serve", "--rate", "8", "--duration", "250ms", "--cc"]) == 0
+    assert "serve[cc]" in capsys.readouterr().out
+
+
+def test_serve_verdict_is_byte_deterministic(tmp_path, capsys):
+    args = ["serve", "--rate", "8", "--duration", "500ms",
+            "--policy", "fcfs", "--seed", "42"]
+    first = tmp_path / "v1.json"
+    second = tmp_path / "v2.json"
+    assert main(args + ["--verdict", str(first)]) == 0
+    assert main(args + ["--verdict", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+    payload = first.read_text()
+    assert '"command": "serve"' in payload
+    assert '"arrival_digest"' in payload
+
+
+def test_serve_writes_chrome_trace(tmp_path, capsys):
+    trace_path = tmp_path / "serve.json"
+    assert main(["serve", "--rate", "8", "--duration", "250ms",
+                 "--trace", str(trace_path)]) == 0
+    content = trace_path.read_text()
+    assert '"traceEvents"' in content
+    assert "serve.queue_depth" in content
+
+
+def test_serve_rejects_bad_duration():
+    with pytest.raises(SystemExit, match="duration"):
+        main(["serve", "--duration", "fast"])

@@ -3,7 +3,7 @@ clock binding, and trace-import restore."""
 
 import pytest
 
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, percentile
 
 
 class FakeClock:
@@ -82,6 +82,40 @@ def test_sampled_sorted_by_name():
     reg.histogram("m").observe(1)  # not a sampled track
     assert [m.name for m in reg.sampled()] == ["a", "z"]
     assert reg.names() == ["a", "m", "z"]
+
+
+def test_percentile_nearest_rank():
+    values = [50, 10, 40, 20, 30]  # unsorted on purpose
+    assert percentile(values, 0) == 10
+    assert percentile(values, 50) == 30
+    assert percentile(values, 99) == 50
+    assert percentile(values, 100) == 50
+    assert percentile([7.5], 95) == 7.5
+    assert percentile([], 50) == 0.0
+
+
+def test_histogram_percentile_and_summary():
+    reg = MetricsRegistry()
+    hist = reg.histogram("ttft_ms")
+    for v in range(1, 101):  # 1..100
+        hist.observe(float(v))
+    assert hist.percentile(50) == 51.0
+    assert hist.percentile(95) == 96.0
+    assert hist.percentile(99) == 100.0
+    summary = hist.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == 1.0
+    assert summary["max"] == 100.0
+    assert summary["mean"] == 50.5
+    assert summary["p50"] == 51.0
+    assert summary["p99"] == 100.0
+
+
+def test_histogram_summary_empty_is_zeros():
+    reg = MetricsRegistry()
+    summary = reg.histogram("empty").summary()
+    assert summary == {"count": 0, "mean": 0.0, "min": 0.0,
+                       "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 def test_import_series_and_histogram_restore():

@@ -1,0 +1,145 @@
+"""Tests for repro.serve.arrivals: determinism, substream isolation,
+process shapes, and digest stability across processes."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import units
+from repro.serve import (
+    TRACES,
+    ArrivalError,
+    TenantSpec,
+    default_tenants,
+    generate_arrivals,
+    stream_digest,
+    tenant_rng,
+)
+
+DURATION = 2 * units.NS_PER_SEC
+
+
+def _tenant(name="t0", rate=8.0, trace="chat", process="poisson"):
+    return TenantSpec(name=name, rate_rps=rate, trace=trace, process=process)
+
+
+def test_arrivals_sorted_and_ids_sequential():
+    reqs = generate_arrivals([_tenant(), _tenant("t1", trace="code")],
+                             DURATION, seed=42)
+    assert reqs, "expected at least one arrival at 8 rps over 2 s"
+    times = [r.arrival_ns for r in reqs]
+    assert times == sorted(times)
+    assert [r.req_id for r in reqs] == list(range(len(reqs)))
+    assert all(0 <= r.arrival_ns < DURATION for r in reqs)
+
+
+def test_same_seed_same_stream():
+    tenants = default_tenants(16.0, 2)
+    first = generate_arrivals(tenants, DURATION, seed=42)
+    second = generate_arrivals(tenants, DURATION, seed=42)
+    assert stream_digest(first) == stream_digest(second)
+    assert [(r.tenant, r.arrival_ns, r.prompt_tokens, r.gen_tokens)
+            for r in first] == \
+           [(r.tenant, r.arrival_ns, r.prompt_tokens, r.gen_tokens)
+            for r in second]
+
+
+def test_different_seed_different_stream():
+    tenants = default_tenants(16.0, 2)
+    assert stream_digest(generate_arrivals(tenants, DURATION, seed=42)) != \
+        stream_digest(generate_arrivals(tenants, DURATION, seed=43))
+
+
+def test_substreams_isolated_per_tenant():
+    """Adding a tenant must not perturb another tenant's stream."""
+    alone = generate_arrivals([_tenant("t0")], DURATION, seed=42)
+    together = generate_arrivals([_tenant("t0"), _tenant("t1")],
+                                 DURATION, seed=42)
+    t0_alone = [(r.arrival_ns, r.prompt_tokens, r.gen_tokens)
+                for r in alone if r.tenant == "t0"]
+    t0_together = [(r.arrival_ns, r.prompt_tokens, r.gen_tokens)
+                   for r in together if r.tenant == "t0"]
+    assert t0_alone == t0_together
+
+
+def test_tenant_rng_differs_by_name_and_seed():
+    a = tenant_rng(42, "t0").integers(0, 2**31, size=4).tolist()
+    b = tenant_rng(42, "t1").integers(0, 2**31, size=4).tolist()
+    c = tenant_rng(43, "t0").integers(0, 2**31, size=4).tolist()
+    assert a != b and a != c
+
+
+def test_gamma_burstier_than_poisson():
+    """Gamma (CV > 1) interarrivals have a higher squared coefficient
+    of variation than exponential ones at the same mean rate."""
+
+    def cv2(process):
+        reqs = generate_arrivals(
+            [_tenant(rate=64.0, process=process)],
+            30 * units.NS_PER_SEC, seed=42)
+        times = [r.arrival_ns for r in reqs]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return var / mean**2
+
+    assert cv2("gamma") > 1.5 * cv2("poisson")
+
+
+def test_length_trace_bounds():
+    trace = TRACES["code"]
+    rng = tenant_rng(7, "bounds")
+    for _ in range(200):
+        prompt, gen = trace.sample(rng)
+        assert 1 <= prompt <= trace.prompt_max
+        assert 1 <= gen <= trace.gen_max
+
+
+def test_default_tenants_split_rate():
+    tenants = default_tenants(24.0, 3)
+    assert len(tenants) == 3
+    assert sum(t.rate_rps for t in tenants) == pytest.approx(24.0)
+    assert len({t.name for t in tenants}) == 3
+
+
+def test_validation_errors():
+    with pytest.raises(ArrivalError, match="rate"):
+        TenantSpec(name="t", rate_rps=0.0, trace="chat").validate()
+    with pytest.raises(ArrivalError, match="trace"):
+        TenantSpec(name="t", rate_rps=1.0, trace="nope").validate()
+    with pytest.raises(ArrivalError, match="process"):
+        TenantSpec(name="t", rate_rps=1.0, trace="chat",
+                   process="weird").validate()
+    with pytest.raises(ArrivalError, match="burstiness"):
+        TenantSpec(name="t", rate_rps=1.0, trace="chat",
+                   process="gamma", burstiness=1.0).validate()
+    with pytest.raises(ArrivalError, match="duplicate"):
+        generate_arrivals([_tenant("t0"), _tenant("t0")], DURATION, seed=1)
+    with pytest.raises(ArrivalError, match="duration"):
+        generate_arrivals([_tenant()], 0, seed=1)
+
+
+def test_cross_process_determinism():
+    """The arrival stream digest is stable across interpreter runs."""
+    snippet = (
+        "from repro import units\n"
+        "from repro.serve import default_tenants, generate_arrivals, "
+        "stream_digest\n"
+        "reqs = generate_arrivals(default_tenants(8.0, 2), "
+        "2 * units.NS_PER_SEC, seed=42)\n"
+        "print(stream_digest(reqs))\n"
+    )
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    digests = set()
+    for _ in range(2):
+        out = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": "random"},
+        )
+        digests.add(out.stdout.strip())
+    local = stream_digest(
+        generate_arrivals(default_tenants(8.0, 2), DURATION, seed=42))
+    assert digests == {local}

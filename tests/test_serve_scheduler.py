@@ -1,0 +1,271 @@
+"""Tests for the pure continuous-batching core and the KV pager.
+
+The property tests pin down the scheduler invariants the serving
+engine relies on: the per-iteration token budget is never exceeded,
+decode never runs the block pool dry, FCFS admission follows arrival
+order (no starvation), and the allocator balance is zero at drain —
+across both preemption modes, under adversarially small pools.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.kvcache import KVCacheError
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    KVPager,
+    SchedulerConfig,
+    ServeRequest,
+)
+from repro.serve.scheduler import SchedulerError
+
+
+def _request(req_id, prompt, gen, tenant="t0", arrival_ns=0):
+    return ServeRequest(req_id=req_id, tenant=tenant, arrival_ns=arrival_ns,
+                        prompt_tokens=prompt, gen_tokens=gen)
+
+
+def _pager(num_blocks=32, block_tokens=4, mode="swap"):
+    # kv_bytes_per_token=1 keeps the byte math trivial in tests.
+    return KVPager(num_blocks * block_tokens, block_tokens, 1, mode=mode)
+
+
+def _drive(sched, requests, max_iters=50_000):
+    """Submit everything up front and run the scheduler to drain,
+    checking the iteration invariants along the way."""
+    for request in requests:
+        sched.submit(request)
+    iters = 0
+    while sched.has_work():
+        plan = sched.plan()
+        assert plan.busy, "scheduler stalled with pending work"
+        assert (
+            plan.prefill_tokens + len(plan.decode_ids)
+            <= sched.config.max_batch_tokens
+        ), "batch token budget exceeded"
+        sched.finish_step(plan.decode_ids)
+        sched.pager.check_invariants()
+        iters += 1
+        assert iters < max_iters, "scheduler failed to drain"
+    return iters
+
+
+# -- unit tests ------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(SchedulerError, match="policy"):
+        SchedulerConfig(policy="lifo").validate()
+    with pytest.raises(SchedulerError, match="max_num_seqs"):
+        SchedulerConfig(max_num_seqs=0).validate()
+    with pytest.raises(SchedulerError, match="exceed"):
+        SchedulerConfig(max_num_seqs=16, max_batch_tokens=16).validate()
+    with pytest.raises(SchedulerError, match="preemption"):
+        SchedulerConfig(preemption="drop").validate()
+    with pytest.raises(SchedulerError, match="does not"):
+        ContinuousBatchingScheduler(
+            SchedulerConfig(preemption="recompute"), _pager(mode="swap")
+        )
+
+
+def test_admission_control_rejects_impossible_requests():
+    sched = ContinuousBatchingScheduler(
+        SchedulerConfig(max_batch_tokens=64), _pager(num_blocks=8)
+    )
+    assert not sched.submit(_request(0, prompt=30, gen=10))  # 40 > 32 cap
+    assert not sched.submit(_request(1, prompt=64, gen=1))  # prompt+1 > 64
+    assert sched.submit(_request(2, prompt=8, gen=4))
+    assert [r.req_id for r in sched.rejected] == [0, 1]
+
+
+def test_single_request_runs_to_completion():
+    sched = ContinuousBatchingScheduler(SchedulerConfig(), _pager())
+    _drive(sched, [_request(0, prompt=8, gen=5)])
+    assert sched.pager.drained()
+    assert sched.pager.stats.preemptions == 0
+    assert sched.admit_order == [0]
+
+
+def test_fcfs_admits_in_arrival_order():
+    sched = ContinuousBatchingScheduler(
+        SchedulerConfig(policy="fcfs"), _pager()
+    )
+    _drive(sched, [_request(i, prompt=4 + (7 - i), gen=2) for i in range(8)])
+    assert sched.admit_order == sorted(sched.admit_order)
+
+
+def test_spf_prefers_short_prompts():
+    # One seat at a time: admission order == policy order.
+    sched = ContinuousBatchingScheduler(
+        SchedulerConfig(policy="spf", max_num_seqs=1, max_batch_tokens=64),
+        _pager(),
+    )
+    requests = [_request(0, 16, 1), _request(1, 4, 1), _request(2, 8, 1)]
+    for r in requests:
+        sched.submit(r)
+    sched.plan()  # admits exactly one
+    assert sched.admit_order == [1]
+
+
+def test_swap_preemption_charges_bytes_and_restores():
+    sched = ContinuousBatchingScheduler(
+        SchedulerConfig(max_num_seqs=4, max_batch_tokens=64),
+        _pager(num_blocks=6, block_tokens=4, mode="swap"),
+    )
+    # Two sequences that outgrow a 24-token pool force an eviction.
+    _drive(sched, [_request(0, 8, 10), _request(1, 8, 10)])
+    stats = sched.pager.stats
+    assert stats.preemptions > 0
+    assert stats.restores == stats.preemptions
+    assert stats.swap_out_bytes == stats.swap_in_bytes > 0
+    assert stats.recompute_tokens == 0
+    assert sched.pager.drained()
+
+
+def test_recompute_preemption_rebuilds_prefill():
+    sched = ContinuousBatchingScheduler(
+        SchedulerConfig(max_num_seqs=4, max_batch_tokens=64,
+                        preemption="recompute"),
+        _pager(num_blocks=6, block_tokens=4, mode="recompute"),
+    )
+    _drive(sched, [_request(0, 8, 10), _request(1, 8, 10)])
+    stats = sched.pager.stats
+    assert stats.preemptions > 0
+    assert stats.recompute_tokens > 0
+    assert stats.swap_out_bytes == stats.swap_in_bytes == 0
+    assert sched.pager.drained()
+
+
+def test_recompute_restore_longer_than_budget_warms_in_chunks():
+    """A restored sequence longer than max_batch_tokens must make
+    progress through chunked warming without breaking the budget."""
+    sched = ContinuousBatchingScheduler(
+        SchedulerConfig(max_num_seqs=2, max_batch_tokens=16,
+                        preemption="recompute"),
+        _pager(num_blocks=8, block_tokens=4, mode="recompute"),
+    )
+    # Both fit the budget together, but two 18-token sequences need 10
+    # blocks against a pool of 8: the loser is evicted holding ~16
+    # tokens, whose recompute exceeds the per-iteration room (budget -
+    # decode slot), so it must come back through chunked warming.
+    _drive(sched, [_request(0, 6, 12), _request(1, 6, 12)])
+    assert sched.pager.stats.preemptions > 0
+    assert sched.pager.stats.recompute_tokens > sched.config.max_batch_tokens - 2
+    assert sched.pager.drained()
+
+
+def test_pager_preempt_restore_roundtrip():
+    pager = _pager(num_blocks=4, block_tokens=4, mode="swap")
+    pager.admit(7, 6)
+    plan = pager.preempt(7)
+    assert plan.tokens == 6 and plan.swap_bytes == 6
+    assert pager.evicted_ids == [7]
+    assert pager.evicted_tokens(7) == 6
+    with pytest.raises(KVCacheError, match="not evicted"):
+        pager.evicted_tokens(8)
+    with pytest.raises(KVCacheError, match="already evicted"):
+        pager.preempt(7)
+    restore = pager.restore(7)
+    assert restore.tokens == 6 and restore.swap_bytes == 6
+    assert pager.sequence_length(7) == 6
+    pager.release(7)
+    assert pager.drained()
+    pager.check_invariants()
+
+
+def test_pager_rejects_unknown_mode():
+    with pytest.raises(KVCacheError, match="preemption mode"):
+        KVPager(64, 4, 1, mode="discard")
+
+
+# -- property tests --------------------------------------------------------
+
+
+@st.composite
+def _scenarios(draw):
+    max_num_seqs = draw(st.integers(1, 6))
+    max_batch_tokens = draw(st.integers(max_num_seqs + 1, 96))
+    policy = draw(st.sampled_from(("fcfs", "spf")))
+    preemption = draw(st.sampled_from(("swap", "recompute")))
+    num_blocks = draw(st.integers(4, 24))
+    block_tokens = draw(st.sampled_from((2, 4, 8)))
+    shapes = draw(
+        st.lists(
+            st.tuples(st.integers(1, 40), st.integers(1, 16)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    requests = [
+        _request(i, prompt, gen, tenant=f"t{i % 3}")
+        for i, (prompt, gen) in enumerate(shapes)
+    ]
+    config = SchedulerConfig(
+        policy=policy,
+        max_num_seqs=max_num_seqs,
+        max_batch_tokens=max_batch_tokens,
+        preemption=preemption,
+    )
+    return config, num_blocks, block_tokens, requests
+
+
+@settings(max_examples=120, deadline=None)
+@given(_scenarios())
+def test_property_drain_without_budget_or_block_violations(scenario):
+    """Every generated mix drains: the token budget holds each
+    iteration (asserted in _drive), decode never exhausts the pool
+    (would raise OutOfBlocksError), and the allocator balance is zero
+    at the end across both preemption modes."""
+    config, num_blocks, block_tokens, requests = scenario
+    pager = _pager(num_blocks, block_tokens, mode=config.preemption)
+    sched = ContinuousBatchingScheduler(config, pager)
+    _drive(sched, requests)
+    assert pager.drained()
+    assert pager.free_blocks == pager.cache.num_blocks
+    # Everything was either served or rejected up front — no limbo.
+    served = set(sched.admit_order)
+    rejected = {r.req_id for r in sched.rejected}
+    assert served | rejected == {r.req_id for r in requests}
+    assert not served & rejected
+
+
+@settings(max_examples=60, deadline=None)
+@given(_scenarios())
+def test_property_fcfs_never_starves(scenario):
+    """Under FCFS the head of the queue is never bypassed: first
+    admissions happen in strict arrival order."""
+    config, num_blocks, block_tokens, requests = scenario
+    if config.policy != "fcfs":
+        config = SchedulerConfig(
+            policy="fcfs",
+            max_num_seqs=config.max_num_seqs,
+            max_batch_tokens=config.max_batch_tokens,
+            preemption=config.preemption,
+        )
+    pager = _pager(num_blocks, block_tokens, mode=config.preemption)
+    sched = ContinuousBatchingScheduler(config, pager)
+    _drive(sched, requests)
+    assert sched.admit_order == sorted(sched.admit_order)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_scenarios())
+def test_property_preempted_work_is_never_lost(scenario):
+    """Every admitted request eventually finishes with exactly
+    prompt + gen tokens accounted, however often it was preempted."""
+    config, num_blocks, block_tokens, requests = scenario
+    pager = _pager(num_blocks, block_tokens, mode=config.preemption)
+    sched = ContinuousBatchingScheduler(config, pager)
+
+    finished = []
+    for request in requests:
+        sched.submit(request)
+    iters = 0
+    while sched.has_work():
+        plan = sched.plan()
+        finished.extend(sched.finish_step(plan.decode_ids))
+        iters += 1
+        assert iters < 50_000
+    assert sorted(finished) == sorted(sched.admit_order)
+    assert sched.pager.stats.restores <= sched.pager.stats.preemptions

@@ -17,7 +17,6 @@ from repro.profiler import (
     load_chrome_trace,
     recovery_event,
 )
-from repro.profiler.importers import ImportError_
 from repro import units
 
 
@@ -114,8 +113,7 @@ def test_roundtrip_preserves_counters_and_gauges():
     assert clone.metrics.counter("tdx.hypercalls").value > 0
 
 
-def test_import_error_rename_keeps_deprecated_alias():
-    assert ImportError_ is TraceImportError
+def test_import_error_is_value_error():
     assert issubclass(TraceImportError, ValueError)
     with pytest.raises(TraceImportError):
         from_chrome_trace("{nope")
@@ -153,16 +151,16 @@ def test_bare_array_variant_accepted():
 
 
 def test_malformed_inputs_rejected():
-    with pytest.raises(ImportError_, match="invalid JSON"):
+    with pytest.raises(TraceImportError, match="invalid JSON"):
         from_chrome_trace("{nope")
-    with pytest.raises(ImportError_, match="traceEvents"):
+    with pytest.raises(TraceImportError, match="traceEvents"):
         from_chrome_trace('{"other": 1}')
-    with pytest.raises(ImportError_, match="bad ts/dur"):
+    with pytest.raises(TraceImportError, match="bad ts/dur"):
         from_chrome_trace(json.dumps(
             {"traceEvents": [{"ph": "X", "cat": "kernel", "name": "k",
                               "ts": "NaN?", "dur": None}]}
         ))
-    with pytest.raises(ImportError_, match="unknown copy kind"):
+    with pytest.raises(TraceImportError, match="unknown copy kind"):
         from_chrome_trace(json.dumps(
             {"traceEvents": [{"ph": "X", "cat": "memcpy", "name": "m",
                               "ts": 0, "dur": 1,
@@ -186,7 +184,7 @@ def test_from_rows_minimal():
 
 
 def test_from_rows_validation():
-    with pytest.raises(ImportError_, match="unknown kind"):
+    with pytest.raises(TraceImportError, match="unknown kind"):
         from_rows([("warp", "k", 0, 1)])
-    with pytest.raises(ImportError_, match="expected 4 or 5"):
+    with pytest.raises(TraceImportError, match="expected 4 or 5"):
         from_rows([("kernel",)])
