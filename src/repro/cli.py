@@ -25,9 +25,13 @@ faults APP [--cc] [--uvm] [--fault-plan P.json | --fault-rate R]
     Run one app under a fault plan and print the per-site report.
 serve [--rate R] [--duration 2s] [--tenants N] [--policy fcfs|spf]
         [--seed N] [--cc] [--process poisson|gamma] [--preemption
-        swap|recompute] [--verdict OUT.json] [--trace OUT.json] [--json]
+        swap|recompute] [--fault-plan P.json | --fault-rate R]
+        [--deadline MS] [--ttft-timeout MS] [--shed-policy
+        none|deadline|pushback] [--circuit-breaker] [--max-queue-depth N]
+        [--max-restarts N] [--verdict OUT.json] [--trace OUT.json] [--json]
     Simulate a multi-tenant continuous-batching serving scenario
-    (repro.serve) and print its SLO summary; the verdict JSON is
+    (repro.serve), optionally under a fault plan with a degradation
+    policy, and print its SLO summary; the verdict JSON is
     byte-deterministic for a given flag set.
 trace export APP -o OUT.json [--cc] [--uvm] ...
     Run one app and write its full observability record (events,
@@ -213,12 +217,15 @@ def _figures_module():
 
 
 def cmd_figures(args) -> int:
-    from .figures import ext_serving, extensions
+    from .figures import ext_fault_serving, ext_serving, extensions
 
     def _ext_result(ext_name):
-        # "serving" lives in its own module (it layers on repro.serve).
+        # "serving"/"fault_serving" live in their own modules (they
+        # layer on repro.serve rather than the single-app harness).
         if ext_name == "serving":
             return ext_serving.generate_serving()
+        if ext_name == "fault_serving":
+            return ext_fault_serving.generate_fault_serving()
         return getattr(extensions, f"generate_{ext_name}")()
 
     names = args.ids or sorted(_FAST_FIGURES)
@@ -228,16 +235,16 @@ def cmd_figures(args) -> int:
         elif name in ("fig12c", "fig13", "fig14"):
             result = _SLOW_FIGURES[name]()
         elif name == "ext":
-            for ext_name in (*_EXTENSIONS, "serving"):
+            for ext_name in (*_EXTENSIONS, "serving", "fault_serving"):
                 result = _ext_result(ext_name)
                 print(result.to_text())
                 print(f"[saved] {result.save(args.out)}\n")
             continue
-        elif name in _EXTENSIONS or name == "serving":
+        elif name in _EXTENSIONS or name in ("serving", "fault_serving"):
             result = _ext_result(name)
         else:
             known = (sorted(_FAST_FIGURES) + sorted(_SLOW_FIGURES)
-                     + list(_EXTENSIONS) + ["serving"])
+                     + list(_EXTENSIONS) + ["serving", "fault_serving"])
             print(f"unknown figure {name!r}; known: {known}",
                   file=sys.stderr)
             return 2
@@ -530,6 +537,12 @@ def cmd_serve(args) -> int:
             max_batch_tokens=args.max_batch_tokens,
             preemption=args.preemption,
             kv_budget_bytes=args.kv_budget_mib * units.MiB,
+            deadline_ms=args.deadline,
+            ttft_timeout_ms=args.ttft_timeout,
+            shed_policy=args.shed_policy,
+            circuit_breaker=args.circuit_breaker,
+            max_queue_depth=args.max_queue_depth,
+            max_engine_restarts=args.max_restarts,
         )
         trace, result = run_scenario(spec, _config(args))
     except ValueError as exc:
@@ -545,6 +558,14 @@ def cmd_serve(args) -> int:
         f"rejected {report['rejected']}  "
         f"preemptions {result.engine.stats['preemptions']}"
     )
+    if result.faults and result.faults["active"]:
+        stats = result.engine.stats
+        print(
+            f"  faults   injected {stats['faults_injected']}  "
+            f"shed {stats['shed']}  failed {stats['failed']}  "
+            f"restarts {stats['restarts']}  "
+            f"breaker trips {stats['breaker_trips']}"
+        )
     print(
         f"  goodput {report['goodput_rps']:.2f} rps  "
         f"throughput {report['throughput_tok_s']:.0f} tok/s  "
@@ -631,6 +652,50 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
                         help="uniform per-occurrence fault rate at all sites")
 
 
+# Argparse-level validators: a bad value dies inside argument parsing
+# with the standard usage message and exit code 2, before any simulator
+# state exists.
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -713,11 +778,11 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="simulate a multi-tenant serving scenario (repro.serve)",
     )
-    serve_p.add_argument("--rate", type=float, default=8.0,
+    serve_p.add_argument("--rate", type=_positive_float, default=8.0,
                          help="total offered arrival rate, req/s (default 8)")
     serve_p.add_argument("--duration", default="2s", metavar="DUR",
                          help="arrival window, e.g. 2s or 500ms (default 2s)")
-    serve_p.add_argument("--tenants", type=int, default=2,
+    serve_p.add_argument("--tenants", type=_positive_int, default=2,
                          help="number of tenants sharing the rate (default 2)")
     serve_p.add_argument("--policy", choices=("fcfs", "spf"), default="fcfs",
                          help="admission order (default fcfs)")
@@ -725,7 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default="poisson",
                          help="arrival process (gamma = bursty)")
     serve_p.add_argument("--cc", action="store_true")
-    serve_p.add_argument("--seed", type=int, default=None,
+    serve_p.add_argument("--seed", type=_nonneg_int, default=None,
                          help="arrival + platform seed (default 42)")
     serve_p.add_argument("--max-num-seqs", type=int, default=16)
     serve_p.add_argument("--max-batch-tokens", type=int, default=2048)
@@ -734,6 +799,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="KV-exhaustion policy (default swap)")
     serve_p.add_argument("--kv-budget-mib", type=int, default=96,
                          help="KV-cache HBM budget in MiB (default 96)")
+    serve_p.add_argument("--fault-plan", default="", metavar="PLAN.json",
+                         help="JSON fault plan (see "
+                              "examples/serve_fault_plan.json)")
+    serve_p.add_argument("--fault-rate", type=float, default=None,
+                         metavar="R",
+                         help="uniform per-occurrence fault rate at all sites")
+    degrade_group = serve_p.add_argument_group(
+        "degradation policy (repro.serve.lifecycle)",
+        "how the engine degrades under faults instead of collapsing",
+    )
+    degrade_group.add_argument(
+        "--deadline", type=_nonneg_float, default=0.0, metavar="MS",
+        help="end-to-end deadline per request, ms (0 = none)")
+    degrade_group.add_argument(
+        "--ttft-timeout", type=_nonneg_float, default=0.0, metavar="MS",
+        help="shed a queued request waiting longer than MS (0 = none)")
+    degrade_group.add_argument(
+        "--shed-policy", choices=("none", "deadline", "pushback"),
+        default="none",
+        help="load-shedding aggressiveness (default none)")
+    degrade_group.add_argument(
+        "--circuit-breaker", action="store_true",
+        help="pause admission and drain during SPDM storms")
+    degrade_group.add_argument(
+        "--max-queue-depth", type=_nonneg_int, default=0, metavar="N",
+        help="admission pushback threshold (0 = unbounded)")
+    degrade_group.add_argument(
+        "--max-restarts", type=_nonneg_int, default=2, metavar="N",
+        help="engine crash-and-restart budget (default 2)")
     serve_p.add_argument("--verdict", default="", metavar="OUT.json",
                          help="write the deterministic verdict JSON here")
     serve_p.add_argument("--trace", default="", metavar="OUT.json",

@@ -8,6 +8,7 @@ is attributed on the timeline like any other activity.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from .. import units
@@ -30,10 +31,30 @@ class RetryPolicy:
         self.validate()
 
     def backoff_ns(self, attempt: int) -> int:
-        """Backoff before retry number ``attempt`` (1-based)."""
+        """Backoff before retry number ``attempt`` (1-based).
+
+        The exponent is clamped *before* the multiplication: once
+        ``base * factor**k`` can only land at or above the cap, the cap
+        is returned directly.  Without the clamp a large ``attempt``
+        (chaos tests drive thousands) materializes astronomically large
+        floats — ``2.0 ** 1024`` even raises OverflowError — inside
+        sim-time arithmetic that only ever needs the capped value.
+        """
         if attempt < 1:
             raise ValueError("attempt numbering starts at 1")
-        raw = self.backoff_base_ns * (self.backoff_factor ** (attempt - 1))
+        if self.backoff_base_ns == 0:
+            return 0
+        if self.backoff_base_ns >= self.backoff_cap_ns:
+            return self.backoff_cap_ns
+        exponent = attempt - 1
+        if self.backoff_factor > 1.0 and exponent > 0:
+            # Smallest exponent that already reaches the cap.
+            saturation = math.ceil(
+                math.log(self.backoff_cap_ns / self.backoff_base_ns)
+                / math.log(self.backoff_factor)
+            )
+            exponent = min(exponent, max(saturation, 0))
+        raw = self.backoff_base_ns * (self.backoff_factor ** exponent)
         return int(min(raw, self.backoff_cap_ns))
 
     def validate(self) -> None:

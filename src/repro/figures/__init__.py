@@ -6,6 +6,7 @@ the text tables and tee JSON into ``results/``.
 
 from .common import FigureResult, default_results_dir
 from . import (
+    ext_fault_serving,
     ext_serving,
     extensions,
     fig01_overview,
@@ -28,6 +29,7 @@ from . import (
 __all__ = [
     "FigureResult",
     "default_results_dir",
+    "ext_fault_serving",
     "ext_serving",
     "extensions",
     "fig01_overview",

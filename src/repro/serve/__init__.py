@@ -18,9 +18,15 @@ CC cost.  Pipeline:
 * :mod:`repro.serve.kvpager` — paged KV allocation with
   swap-vs-recompute preemption; swap traffic rides the encrypted
   PCIe path.
-* :mod:`repro.serve.slo` — TTFT/TPOT/E2E histograms and goodput.
+* :mod:`repro.serve.slo` — TTFT/TPOT/E2E histograms, goodput and
+  degradation accounting (shed/failed rates, per-tenant attribution).
+* :mod:`repro.serve.lifecycle` — fault-aware request lifecycle:
+  :class:`DegradationPolicy` (deadlines, TTFT timeouts, load shedding,
+  circuit breaker, restart budget) and the :class:`LifecycleLedger`
+  behind the no-lost-request invariant.
 * :mod:`repro.serve.scenario` — one-call scenario runner shared by
-  ``repro serve``, the ``ext_serving`` figure and the tests.
+  ``repro serve``, the ``ext_serving``/``ext_fault_serving`` figures
+  and the tests.
 """
 
 from .arrivals import (
@@ -36,9 +42,21 @@ from .arrivals import (
     tenant_rng,
 )
 from .kvpager import KVPager, PagerStats, PreemptPlan, RestorePlan
+from .lifecycle import (
+    COMPLETED,
+    FAILED,
+    REJECTED,
+    SHED,
+    SHED_POLICIES,
+    TERMINAL_STATES,
+    DegradationPolicy,
+    LifecycleError,
+    LifecycleLedger,
+)
 from .scenario import (
     ScenarioResult,
     ScenarioSpec,
+    fault_plan_summary,
     parse_duration_ns,
     predicted_step_cc_overhead_ns,
     run_scenario,
@@ -59,17 +77,25 @@ from .slo import RequestOutcome, SLOTargets, SLOTracker, build_report
 __all__ = [
     "ARRIVAL_PROCESSES",
     "ArrivalError",
+    "COMPLETED",
     "ContinuousBatchingScheduler",
+    "DegradationPolicy",
     "EngineResult",
+    "FAILED",
     "IterationPlan",
     "KVPager",
     "LengthTrace",
+    "LifecycleError",
+    "LifecycleLedger",
     "POLICIES",
     "PagerStats",
     "PreemptPlan",
+    "REJECTED",
     "RequestOutcome",
     "RestorePlan",
     "SERVE_MODEL",
+    "SHED",
+    "SHED_POLICIES",
     "SLOTargets",
     "SLOTracker",
     "ScenarioResult",
@@ -77,10 +103,12 @@ __all__ = [
     "SchedulerConfig",
     "ServeRequest",
     "ServingEngine",
+    "TERMINAL_STATES",
     "TRACES",
     "TenantSpec",
     "build_report",
     "default_tenants",
+    "fault_plan_summary",
     "generate_arrivals",
     "parse_duration_ns",
     "predicted_step_cc_overhead_ns",

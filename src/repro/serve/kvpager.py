@@ -39,6 +39,11 @@ class PagerStats:
     swap_out_bytes: int = 0
     swap_in_bytes: int = 0
     recompute_tokens: int = 0
+    # Engine crash-and-restart accounting: a crash drops *all* KV
+    # (resident and swapped — the session key rotates with the
+    # re-attestation, so swapped copies are undecryptable too).
+    crashes: int = 0
+    crash_lost_tokens: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -47,6 +52,8 @@ class PagerStats:
             "swap_out_bytes": self.swap_out_bytes,
             "swap_in_bytes": self.swap_in_bytes,
             "recompute_tokens": self.recompute_tokens,
+            "crashes": self.crashes,
+            "crash_lost_tokens": self.crash_lost_tokens,
         }
 
 
@@ -89,6 +96,10 @@ class KVPager:
         # seq id -> token count held while evicted (insertion order =
         # eviction order, used for FIFO restore).
         self._evicted: Dict[int, int] = {}
+        # Sequences whose KV was lost to an engine crash: their restore
+        # is a full chunked recompute even in swap mode (the swapped
+        # copy died with the session key).
+        self._crash_lost: set = set()
 
     # -- queries -----------------------------------------------------------
 
@@ -171,15 +182,21 @@ class KVPager:
         needed = self.cache.blocks_needed(self.evicted_tokens(seq_id))
         return needed <= self.cache.free_blocks
 
+    def restore_is_recompute(self, seq_id: int) -> bool:
+        """Will restoring this sequence re-run prefill (vs swap-in)?"""
+        return self.mode == "recompute" or seq_id in self._crash_lost
+
     def restore(self, seq_id: int) -> RestorePlan:
         """Re-admit an evicted sequence at its saved length."""
         if not self.can_restore(seq_id):
             raise KVCacheError(f"no room to restore sequence {seq_id}")
+        recompute_restore = self.restore_is_recompute(seq_id)
         tokens = self._evicted.pop(seq_id)
+        self._crash_lost.discard(seq_id)
         self.cache.admit(seq_id, tokens)
         self.stats.restores += 1
-        swap_bytes = self.seq_bytes(tokens) if self.mode == "swap" else 0
-        recompute = tokens if self.mode == "recompute" else 0
+        swap_bytes = 0 if recompute_restore else self.seq_bytes(tokens)
+        recompute = tokens if recompute_restore else 0
         self.stats.swap_in_bytes += swap_bytes
         self.stats.recompute_tokens += recompute
         return RestorePlan(
@@ -189,12 +206,51 @@ class KVPager:
             recompute_tokens=recompute,
         )
 
+    # -- fault paths -------------------------------------------------------
+
+    def drop_evicted(self, seq_id: int) -> int:
+        """Discard an evicted sequence outright (cancellation): its
+        swapped copy is released without ever being brought back."""
+        tokens = self.evicted_tokens(seq_id)
+        del self._evicted[seq_id]
+        self._crash_lost.discard(seq_id)
+        return tokens
+
+    def crash(self) -> Dict[int, int]:
+        """Engine crash: every block and every swapped copy is lost.
+
+        Returns ``{seq_id: tokens}`` for all sequences that were live
+        (resident or evicted) so the scheduler can requeue survivors;
+        the allocator is left fully drained (balance zero).
+        """
+        lost: Dict[int, int] = {}
+        for sid in self.active_ids:
+            lost[sid] = self.cache.sequence_length(sid)
+            self.cache.release(sid)
+        for sid, tokens in self._evicted.items():
+            lost[sid] = tokens
+        self._evicted.clear()
+        self._crash_lost.clear()
+        self.stats.crashes += 1
+        self.stats.crash_lost_tokens += sum(lost.values())
+        return lost
+
+    def mark_crash_lost(self, seq_id: int, tokens: int) -> None:
+        """Requeue a crash survivor: it sits in the evicted queue but
+        its restore is forced to chunked recompute in every mode."""
+        if seq_id in self._evicted or seq_id in self.cache._tables:
+            raise KVCacheError(f"sequence {seq_id} is still live")
+        self._evicted[seq_id] = tokens
+        self._crash_lost.add(seq_id)
+
     # -- invariants --------------------------------------------------------
 
     def check_invariants(self) -> None:
         self.cache.check_invariants()
         overlap = set(self._evicted) & set(self.cache._tables)
         assert not overlap, f"sequences both resident and evicted: {overlap}"
+        stray = self._crash_lost - set(self._evicted)
+        assert not stray, f"crash-lost sequences not queued: {stray}"
         if self.drained():
             assert self.cache.free_blocks == self.cache.num_blocks, (
                 "allocator balance nonzero at drain"

@@ -29,6 +29,7 @@ from .arrivals import (
     generate_arrivals,
     stream_digest,
 )
+from .lifecycle import DegradationPolicy
 from .scheduler import (
     DEFAULT_KV_BUDGET_BYTES,
     EngineResult,
@@ -55,6 +56,14 @@ class ScenarioSpec:
     block_tokens: int = 16
     ttft_slo_ms: float = 400.0
     tpot_slo_ms: float = 60.0
+    # Degradation policy (repro.serve.lifecycle): scalar knobs so the
+    # spec stays a flat, JSON-friendly record.  Defaults are inert.
+    deadline_ms: float = 0.0
+    ttft_timeout_ms: float = 0.0
+    shed_policy: str = "none"
+    circuit_breaker: bool = False
+    max_queue_depth: int = 0
+    max_engine_restarts: int = 2
 
     def tenant_specs(self) -> List[TenantSpec]:
         return default_tenants(self.rate_rps, self.tenants, self.process)
@@ -70,12 +79,39 @@ class ScenarioSpec:
     def slo_targets(self) -> SLOTargets:
         return SLOTargets(ttft_ms=self.ttft_slo_ms, tpot_ms=self.tpot_slo_ms)
 
+    def degrade(self) -> DegradationPolicy:
+        return DegradationPolicy(
+            deadline_ms=self.deadline_ms,
+            ttft_timeout_ms=self.ttft_timeout_ms,
+            shed_policy=self.shed_policy,
+            circuit_breaker=self.circuit_breaker,
+            max_queue_depth=self.max_queue_depth,
+            max_engine_restarts=self.max_engine_restarts,
+        )
+
     def label(self, config: SystemConfig) -> str:
         mode = "cc" if config.cc_on else "base"
+        suffix = "-faults" if config.faults.active else ""
         return (
             f"serve-{mode}-{self.policy}-r{self.rate_rps:g}"
-            f"-t{self.tenants}-s{self.seed}"
+            f"-t{self.tenants}-s{self.seed}{suffix}"
         )
+
+
+def fault_plan_summary(config: SystemConfig) -> Dict:
+    """JSON-ready description of the active fault plan (deterministic:
+    sites are stored sorted)."""
+    sites: Dict[str, Dict] = {}
+    for name, site in config.faults.sites:
+        entry: Dict = {}
+        if site.rate:
+            entry["rate"] = site.rate
+        if site.schedule:
+            entry["schedule"] = list(site.schedule)
+        if site.max_faults is not None:
+            entry["max_faults"] = site.max_faults
+        sites[name] = entry
+    return {"active": config.faults.active, "sites": sites}
 
 
 @dataclass
@@ -88,6 +124,7 @@ class ScenarioResult:
     arrival_digest: str
     engine: EngineResult
     report: Dict
+    faults: Optional[Dict] = None
 
     @property
     def goodput_rps(self) -> float:
@@ -111,6 +148,7 @@ def run_scenario(
         kv_budget_bytes=spec.kv_budget_bytes,
         block_tokens=spec.block_tokens,
         targets=spec.slo_targets(),
+        degrade=spec.degrade(),
     )
     trace, result = engine.run(config, requests, label=spec.label(config))
     # Rates are computed over the full busy window (arrival window +
@@ -127,6 +165,7 @@ def run_scenario(
         arrival_digest=stream_digest(requests),
         engine=result,
         report=report,
+        faults=fault_plan_summary(config),
     )
 
 
@@ -140,6 +179,7 @@ def scenario_verdict(result: ScenarioResult) -> Dict:
         "arrival_digest": result.arrival_digest,
         "elapsed_ms": units.to_ms(result.engine.elapsed_ns),
         "engine": dict(sorted(result.engine.stats.items())),
+        "faults": result.faults or {"active": False, "sites": {}},
         "slo": result.report,
     }
 

@@ -42,10 +42,21 @@ import numpy as np
 from .. import units
 from ..config import SystemConfig
 from ..cuda import CudaRuntime, run_app
+from ..faults import BOUNCE_POOL, FatalFault
+from ..faults import SPDM as SPDM_SITE
 from ..llm.backends import VLLM_STEP_SCHED_NS, VLLMBackend
 from ..llm.config import BF16, LlamaConfig, QuantConfig
+from ..tdx.spdm import attest_gpu
 from .arrivals import ServeRequest
 from .kvpager import KVPager, PreemptPlan, RestorePlan
+from .lifecycle import (
+    COMPLETED,
+    FAILED,
+    REJECTED,
+    SHED,
+    DegradationPolicy,
+    LifecycleLedger,
+)
 from .slo import RequestOutcome, SLOTargets, SLOTracker
 
 POLICIES = ("fcfs", "spf")
@@ -199,8 +210,13 @@ class ContinuousBatchingScheduler:
         self._order[sid] = self._next_order
         self._next_order += 1
 
-    def plan(self) -> IterationPlan:
-        """Produce (and commit) one iteration's scheduling decisions."""
+    def plan(self, admit: bool = True) -> IterationPlan:
+        """Produce (and commit) one iteration's scheduling decisions.
+
+        ``admit=False`` pauses new admissions (circuit breaker open:
+        the running batch keeps draining, evicted sequences may still
+        restore, but nothing leaves the wait queue).
+        """
         plan = IterationPlan()
         budget = self.config.max_batch_tokens
 
@@ -226,6 +242,9 @@ class ContinuousBatchingScheduler:
         while self.evicted:
             sid = self.evicted[0]
             tokens = self.pager.evicted_tokens(sid)
+            # Crash survivors recompute even in swap mode: their
+            # swapped KV died with the session key.
+            recompute_restore = self.pager.restore_is_recompute(sid)
             if self.resident_count + 1 > self.config.max_num_seqs:
                 break
             if not self.pager.can_restore(sid) or not self._fits_next(
@@ -233,7 +252,7 @@ class ContinuousBatchingScheduler:
                 tokens % self.pager.block_tokens == 0,
             ):
                 break
-            if self.config.preemption == "recompute":
+            if recompute_restore:
                 # Needs at least one token of budget to start warming
                 # (plus the reserved decode slot).
                 if budget - len(self.running) - plan.prefill_tokens - 1 < 1:
@@ -244,7 +263,7 @@ class ContinuousBatchingScheduler:
             self.evicted.pop(0)
             restore = self.pager.restore(sid)
             plan.restored.append(restore)
-            if self.config.preemption == "recompute":
+            if recompute_restore:
                 room = budget - len(self.running) - plan.prefill_tokens - 1
                 chunk = min(restore.recompute_tokens, room)
                 remaining = restore.recompute_tokens - chunk
@@ -257,7 +276,7 @@ class ContinuousBatchingScheduler:
                 self.running[sid] = self.requests[sid]
 
         # 4. Admissions from the wait queue (head-of-line per policy).
-        for request in self._candidates():
+        for request in self._candidates() if admit else ():
             if self.resident_count + 1 > self.config.max_num_seqs:
                 break
             boundary = request.prompt_tokens % self.pager.block_tokens == 0
@@ -289,6 +308,37 @@ class ContinuousBatchingScheduler:
             "batch token budget exceeded"
         )
         return plan
+
+    # -- fault paths -------------------------------------------------------
+
+    def cancel(self, sid: int) -> None:
+        """Terminate a request wherever it is (deadline shed, engine
+        give-up): its KV blocks / swapped copy are released outright."""
+        if sid in self.running:
+            del self.running[sid]
+            self.pager.release(sid)
+        elif sid in self.warming:
+            del self.warming[sid]
+            self.pager.release(sid)
+        elif sid in self.evicted:
+            self.evicted.remove(sid)
+            self.pager.drop_evicted(sid)
+        else:
+            raise SchedulerError(f"cannot cancel unknown sequence {sid}")
+
+    def crash_recover(self) -> List[int]:
+        """Engine crash: all KV is lost; requeue every live sequence
+        for chunked recompute (admission order preserved).  Returns the
+        survivor ids."""
+        lost = self.pager.crash()
+        self.running.clear()
+        self.warming.clear()
+        self.evicted.clear()
+        survivors = sorted(lost, key=lambda sid: self._order[sid])
+        for sid in survivors:
+            self.pager.mark_crash_lost(sid, lost[sid])
+            self.evicted.append(sid)
+        return survivors
 
     def finish_step(self, decode_ids: List[int]) -> List[int]:
         """Account one generated token per decoding sequence; release
@@ -337,8 +387,25 @@ class EngineResult:
     stats: Dict[str, int]
 
 
+class _EngineCrash(Exception):
+    """Internal: a fatal fault exhausted the engine-level retry budget;
+    the iteration aborts and the crash-and-restart path takes over."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(site)
+        self.site = site
+
+
 class ServingEngine:
-    """Continuous-batching server as a CUDA-runtime application."""
+    """Continuous-batching server as a CUDA-runtime application.
+
+    Every cost-paying path (uploads, prefill/decode launches, token
+    D2H, KV swaps) runs under the guest's :class:`FaultInjector`; a
+    :class:`DegradationPolicy` decides how the engine degrades when
+    faults land (shed vs stall vs crash-and-restart).  With an inactive
+    fault plan and the default inert policy the engine is
+    byte-identical to the pre-fault-layer build (zero-perturbation
+    guarantee)."""
 
     def __init__(
         self,
@@ -348,6 +415,7 @@ class ServingEngine:
         kv_budget_bytes: int = DEFAULT_KV_BUDGET_BYTES,
         block_tokens: int = 16,
         targets: Optional[SLOTargets] = None,
+        degrade: Optional[DegradationPolicy] = None,
     ) -> None:
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.scheduler_config.validate()
@@ -356,6 +424,8 @@ class ServingEngine:
         self.kv_budget_bytes = kv_budget_bytes
         self.block_tokens = block_tokens
         self.targets = targets or SLOTargets()
+        self.degrade = degrade or DegradationPolicy()
+        self.degrade.validate()
 
     def run(
         self,
@@ -371,6 +441,9 @@ class ServingEngine:
     ) -> Generator:
         config = rt.config
         metrics = rt.guest.metrics
+        degrade = self.degrade
+        retry = config.retry
+        faults_on = config.faults.active
         pager = KVPager(
             self.kv_budget_bytes,
             self.block_tokens,
@@ -379,6 +452,7 @@ class ServingEngine:
         )
         sched = ContinuousBatchingScheduler(self.scheduler_config, pager)
         tracker = SLOTracker(metrics, self.targets)
+        ledger = LifecycleLedger()
 
         prompt_host = yield from rt.malloc_host(4 * units.MiB)
         token_host = yield from rt.malloc_host(64 * units.KiB)
@@ -392,6 +466,12 @@ class ServingEngine:
         first_token: Dict[int, int] = {}
         iterations = 0
         decode_steps = 0
+        restarts = 0
+        storms = 0
+        breaker_trips = 0
+        engine_retries = 0
+        retry_pressure = False
+        breaker_open = False
 
         queue_gauge = metrics.gauge("serve.queue_depth")
         kv_gauge = metrics.gauge("serve.kv_used_blocks")
@@ -399,19 +479,161 @@ class ServingEngine:
         preempt_counter = metrics.counter("serve.preemptions")
         swap_counter = metrics.counter("serve.swap_bytes")
 
+        def terminal(request, status, cause, when, first=0):
+            """Record one terminal state (exactly once, via the ledger)."""
+            ledger.finish(request.req_id, status, cause)
+            # SHED span taxonomy: a zero-duration "serve"-layer span per
+            # policy/fault termination, next to the "recovery" spans the
+            # runtime emits for retried operations.
+            rt.guest.spans.record(
+                f"{status}:{cause}",
+                "serve",
+                when,
+                0,
+                req=request.req_id,
+                tenant=request.tenant,
+            )
+            tracker.observe(
+                RequestOutcome(
+                    req_id=request.req_id,
+                    tenant=request.tenant,
+                    arrival_ns=request.arrival_ns,
+                    first_token_ns=first,
+                    finish_ns=when,
+                    prompt_tokens=request.prompt_tokens,
+                    gen_tokens=request.gen_tokens,
+                    preemptions=sched.preempt_counts.get(request.req_id, 0),
+                    status=status,
+                    cause=cause,
+                )
+            )
+
+        def paid(make_op):
+            """Run one cost-paying op under the engine-level retry loop.
+
+            The runtime below already retries transient faults
+            per-primitive; a :class:`FatalFault` escaping it means that
+            budget is gone.  The engine then replays the whole op (a
+            fresh fault draw — transient storms pass) with
+            ``RetryPolicy`` backoff in sim time; exhaustion escalates
+            to :class:`_EngineCrash` and the restart path."""
+            nonlocal engine_retries
+            attempt = 1
+            while True:
+                try:
+                    return (yield from make_op())
+                except FatalFault as exc:
+                    if attempt >= retry.max_attempts:
+                        raise _EngineCrash(exc.site) from exc
+                    engine_retries += 1
+                    backoff_start = rt.sim.now
+                    yield rt.sim.timeout(retry.backoff_ns(attempt))
+                    rt.guest.record_recovery(
+                        exc.site, backoff_start, attempt, "engine-retry"
+                    )
+                    attempt += 1
+
+        def reattest(action):
+            """Session teardown + full SPDM re-attestation (the KV keys
+            rotate, but resident KV in HBM survives — only a *crash*
+            loses KV)."""
+            restart_start = rt.sim.now
+            yield rt.sim.timeout(config.fault_model.spdm_restart_ns)
+            yield from attest_gpu(rt.sim, rt.guest, config)
+            rt.guest.record_recovery(SPDM_SITE, restart_start, 1, action)
+            metrics.counter("serve.reattestations").inc()
+
+        def queue_cap_now():
+            """Pushback threshold; bounce-pool exhaustion halves it."""
+            cap = degrade.max_queue_depth
+            if cap and rt.guest.faults.injected_at(BOUNCE_POOL) > 0:
+                cap = max(1, cap // 2)
+            return cap
+
+        def shed_scan(when):
+            """Enforce TTFT timeouts and end-to-end deadlines."""
+            ttft_to = degrade.ttft_timeout_ns
+            deadline = degrade.deadline_ns
+            survivors = []
+            for request in sched.waiting:
+                waited = when - request.arrival_ns
+                if ttft_to and waited > ttft_to:
+                    terminal(request, SHED, "ttft_timeout", when)
+                elif deadline and waited > deadline:
+                    terminal(request, SHED, "deadline", when)
+                else:
+                    survivors.append(request)
+            sched.waiting[:] = survivors
+            if deadline:
+                live = (
+                    list(sched.running)
+                    + list(sched.warming)
+                    + list(sched.evicted)
+                )
+                for sid in live:
+                    request = sched.requests[sid]
+                    if when - request.arrival_ns > deadline:
+                        sched.cancel(sid)
+                        terminal(
+                            request, SHED, "deadline", when,
+                            first=first_token.get(sid, 0),
+                        )
+
+        def give_up(cause):
+            """Terminal engine failure: every request still in flight
+            (and every arrival that will never be served) fails with
+            cause — nothing is silently dropped."""
+            nonlocal index
+            when = rt.sim.now
+            for request in list(sched.waiting):
+                terminal(request, FAILED, cause, when)
+            sched.waiting.clear()
+            live = (
+                list(sched.running)
+                + list(sched.warming)
+                + list(sched.evicted)
+            )
+            for sid in live:
+                request = sched.requests[sid]
+                sched.cancel(sid)
+                terminal(
+                    request, FAILED, cause, when,
+                    first=first_token.get(sid, 0),
+                )
+            while index < len(pending):
+                request = pending[index]
+                index += 1
+                ledger.submit(request.req_id)
+                terminal(request, FAILED, "engine_down", when)
+            metrics.counter("serve.engine_give_up").inc()
+
         def chunked_copy(dst, src, total):
             remaining = total
             while remaining > 0:
                 size = min(remaining, SWAP_CHUNK_BYTES)
-                yield from rt.memcpy(dst, src, size)
+                yield from paid(lambda s=size: rt.memcpy(dst, src, s))
                 remaining -= size
 
         while True:
             now = rt.sim.now
             while index < len(pending) and pending[index].arrival_ns <= now:
-                sched.submit(pending[index])
+                request = pending[index]
                 index += 1
+                ledger.submit(request.req_id)
+                if degrade.shed_policy == "pushback" and (
+                    retry_pressure
+                    or (
+                        queue_cap_now()
+                        and len(sched.waiting) >= queue_cap_now()
+                    )
+                ):
+                    terminal(request, SHED, "pushback", now)
+                    continue
+                if not sched.submit(request):
+                    ledger.finish(request.req_id, REJECTED, "admission")
             queue_gauge.set(len(sched.waiting))
+            if degrade.sheds:
+                shed_scan(now)
             if not sched.has_work():
                 if index >= len(pending):
                     break
@@ -419,66 +641,141 @@ class ServingEngine:
                 yield rt.sim.timeout(pending[index].arrival_ns - now)
                 continue
 
-            plan = sched.plan()
-            if not plan.busy:
-                raise RuntimeError(
-                    "scheduler stalled with pending work (livelock)"
-                )
-            iterations += 1
+            try:
+                # SPDM re-attestation storm: the session health check
+                # demands a fresh attestation.  With the circuit
+                # breaker the engine pauses admission and drains the
+                # running batch first; without it the whole batch
+                # stalls behind an inline re-attestation.
+                if faults_on and rt.guest.faults.draw(SPDM_SITE) is not None:
+                    storms += 1
+                    metrics.counter("serve.spdm_storms").inc()
+                    if degrade.circuit_breaker:
+                        if not breaker_open:
+                            breaker_open = True
+                            breaker_trips += 1
+                            metrics.counter("serve.breaker_trips").inc()
+                    else:
+                        yield from reattest("spdm-storm")
 
-            for evict in plan.preempted:
-                preempt_counter.inc()
-                if evict.swap_bytes:
-                    swap_counter.inc(evict.swap_bytes)
-                    yield from chunked_copy(swap_host, swap_dev, evict.swap_bytes)
-            for restore in plan.restored:
-                if restore.swap_bytes:
-                    swap_counter.inc(restore.swap_bytes)
-                    yield from chunked_copy(swap_dev, swap_host, restore.swap_bytes)
-            if plan.admitted:
-                prompt_bytes = sum(r.prompt_tokens for r in plan.admitted) * 4
-                yield from rt.memcpy(scratch_dev, prompt_host, max(prompt_bytes, 64))
-            if plan.prefill_tokens:
-                yield from rt.launch(
-                    self.backend.prefill_kernel(config, plan.prefill_tokens)
-                )
-
-            # Iteration bookkeeping on the guest CPU.
-            yield from rt.cpu_gap(VLLM_STEP_SCHED_NS)
-
-            if plan.decode_ids:
-                decode_steps += 1
-                contexts = [pager.sequence_length(s) for s in plan.decode_ids]
-                yield from rt.launch(
-                    self.backend.decode_kernel(
-                        config, len(plan.decode_ids), float(np.mean(contexts))
+                plan = sched.plan(admit=not breaker_open)
+                if not plan.busy:
+                    if breaker_open:
+                        # Batch drained: re-attest, close the breaker,
+                        # resume admission.
+                        yield from reattest("breaker-drain")
+                        breaker_open = False
+                        continue
+                    raise RuntimeError(
+                        "scheduler stalled with pending work (livelock)"
                     )
-                )
-                yield from rt.memcpy(
-                    token_host, scratch_dev, 4 * len(plan.decode_ids)
-                )
-                step_end = rt.sim.now
-                for sid in plan.decode_ids:
-                    first_token.setdefault(sid, step_end)
-                for sid in sched.finish_step(plan.decode_ids):
-                    request = sched.requests[sid]
-                    tracker.observe(
-                        RequestOutcome(
-                            req_id=sid,
-                            tenant=request.tenant,
-                            arrival_ns=request.arrival_ns,
-                            first_token_ns=first_token[sid],
-                            finish_ns=step_end,
-                            prompt_tokens=request.prompt_tokens,
-                            gen_tokens=request.gen_tokens,
-                            preemptions=sched.preempt_counts.get(sid, 0),
+                iterations += 1
+                retries_before = engine_retries
+
+                for evict in plan.preempted:
+                    preempt_counter.inc()
+                    if evict.swap_bytes:
+                        swap_counter.inc(evict.swap_bytes)
+                        yield from chunked_copy(
+                            swap_host, swap_dev, evict.swap_bytes
                         )
-                    )
-            kv_gauge.set(pager.cache.used_blocks)
-            running_gauge.set(len(sched.running))
+                for restore in plan.restored:
+                    if restore.swap_bytes:
+                        swap_counter.inc(restore.swap_bytes)
+                        yield from chunked_copy(
+                            swap_dev, swap_host, restore.swap_bytes
+                        )
+                if plan.admitted:
+                    prompt_bytes = sum(
+                        r.prompt_tokens for r in plan.admitted
+                    ) * 4
+                    yield from paid(lambda: rt.memcpy(
+                        scratch_dev, prompt_host, max(prompt_bytes, 64)
+                    ))
+                if plan.prefill_tokens:
+                    yield from paid(lambda: rt.launch(
+                        self.backend.prefill_kernel(
+                            config, plan.prefill_tokens
+                        )
+                    ))
+
+                # Iteration bookkeeping on the guest CPU.
+                yield from rt.cpu_gap(VLLM_STEP_SCHED_NS)
+
+                if plan.decode_ids:
+                    decode_steps += 1
+                    contexts = [
+                        pager.sequence_length(s) for s in plan.decode_ids
+                    ]
+                    yield from paid(lambda: rt.launch(
+                        self.backend.decode_kernel(
+                            config,
+                            len(plan.decode_ids),
+                            float(np.mean(contexts)),
+                        )
+                    ))
+                    yield from paid(lambda: rt.memcpy(
+                        token_host, scratch_dev, 4 * len(plan.decode_ids)
+                    ))
+                    step_end = rt.sim.now
+                    for sid in plan.decode_ids:
+                        first_token.setdefault(sid, step_end)
+                    for sid in sched.finish_step(plan.decode_ids):
+                        request = sched.requests[sid]
+                        ledger.finish(sid, COMPLETED)
+                        tracker.observe(
+                            RequestOutcome(
+                                req_id=sid,
+                                tenant=request.tenant,
+                                arrival_ns=request.arrival_ns,
+                                first_token_ns=first_token[sid],
+                                finish_ns=step_end,
+                                prompt_tokens=request.prompt_tokens,
+                                gen_tokens=request.gen_tokens,
+                                preemptions=sched.preempt_counts.get(sid, 0),
+                            )
+                        )
+                kv_gauge.set(pager.cache.used_blocks)
+                running_gauge.set(len(sched.running))
+                retry_pressure = engine_retries > retries_before
+            except _EngineCrash as crash:
+                # Engine crash: session and KV are gone.  Within the
+                # restart budget the engine re-attests and requeues
+                # every survivor for chunked recompute; past it, it
+                # fails them with cause instead of looping forever.
+                restarts += 1
+                metrics.counter("serve.engine_crashes").inc()
+                crash_start = rt.sim.now
+                sched.crash_recover()
+                first_token_keep = {
+                    sid: first_token[sid]
+                    for sid in first_token
+                    if not ledger.state_of(sid)
+                }
+                first_token = first_token_keep
+                if restarts > degrade.max_engine_restarts:
+                    give_up(crash.site)
+                    break
+                try:
+                    yield from reattest("engine-restart")
+                except FatalFault:
+                    give_up(crash.site)
+                    break
+                rt.guest.record_recovery(
+                    crash.site, crash_start, restarts, "engine-restart",
+                    scope="serve",
+                )
+                breaker_open = False
+                retry_pressure = True
+            except FatalFault as exc:
+                # Re-attestation itself exhausted its retries: the
+                # platform cannot restore a trusted session.
+                give_up(exc.site)
+                break
 
         pager.check_invariants()
         assert pager.drained(), "sequences left resident after drain"
+        ledger.check_complete()
         yield from rt.synchronize()
         elapsed = rt.sim.now - start
         for buffer in (prompt_host, token_host, swap_host, scratch_dev, swap_dev):
@@ -487,6 +784,14 @@ class ServingEngine:
             "iterations": iterations,
             "decode_steps": decode_steps,
             "rejected": len(sched.rejected),
+            "restarts": restarts,
+            "spdm_storms": storms,
+            "breaker_trips": breaker_trips,
+            "engine_retries": engine_retries,
+            "shed": ledger.count(SHED),
+            "failed": ledger.count(FAILED),
+            "faults_injected": rt.guest.faults.total_injected,
+            "faults_recovery_ns": rt.guest.faults.total_recovery_ns,
             **pager.stats.as_dict(),
         }
         return EngineResult(

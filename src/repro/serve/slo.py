@@ -38,7 +38,16 @@ class SLOTargets:
 
 @dataclass(frozen=True)
 class RequestOutcome:
-    """Completed-request record emitted by the serving engine."""
+    """Terminal-request record emitted by the serving engine.
+
+    ``status`` is one of the lifecycle terminal states: ``completed``
+    (all tokens generated — the only status that can count toward
+    goodput), ``shed`` (terminated by a degradation policy: TTFT
+    timeout, deadline, admission pushback) or ``failed`` (the engine
+    gave up; ``cause`` names the fault site or policy responsible).
+    For shed/failed requests ``first_token_ns`` may be 0 (never
+    started) and ``finish_ns`` is the termination time.
+    """
 
     req_id: int
     tenant: str
@@ -48,6 +57,8 @@ class RequestOutcome:
     prompt_tokens: int
     gen_tokens: int
     preemptions: int = 0
+    status: str = "completed"
+    cause: str = ""
 
     @property
     def ttft_ns(self) -> int:
@@ -85,6 +96,20 @@ class SLOTracker:
 
     def observe(self, outcome: RequestOutcome) -> None:
         self.outcomes.append(outcome)
+        if outcome.status != "completed":
+            # SHED metric taxonomy: shed/failed requests never enter
+            # the latency histograms (their latencies are policy
+            # artifacts, not service quality) — they get their own
+            # counters, globally and per tenant/cause.
+            self.metrics.counter(f"serve.{outcome.status}").inc()
+            self.metrics.counter(
+                f"serve.{outcome.tenant}.{outcome.status}"
+            ).inc()
+            if outcome.cause:
+                self.metrics.counter(
+                    f"serve.{outcome.status}.{outcome.cause}"
+                ).inc()
+            return
         for scope in ("serve", f"serve.{outcome.tenant}"):
             self.metrics.histogram(f"{scope}.ttft_ms").observe(
                 units.to_ms(outcome.ttft_ns)
@@ -118,34 +143,56 @@ def build_report(
     """Deterministic SLO report (plain dict, JSON-stable ordering is
     the caller's job via ``sort_keys``)."""
     duration_s = units.to_sec(duration_ns)
-    attained = [o for o in outcomes if o.meets(targets)]
-    tokens_out = sum(o.gen_tokens for o in outcomes)
+    completed = [o for o in outcomes if o.status == "completed"]
+    shed = [o for o in outcomes if o.status == "shed"]
+    failed = [o for o in outcomes if o.status == "failed"]
+    attained = [o for o in completed if o.meets(targets)]
+    tokens_out = sum(o.gen_tokens for o in completed)
+    offered = len(outcomes) + len(rejected)
 
     def tenant_names() -> List[str]:
         names = {o.tenant for o in outcomes} | {r.tenant for r in rejected}
         return sorted(names)
 
+    def cause_counts(subset: Sequence[RequestOutcome]) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for o in subset:
+            cause = o.cause or "unspecified"
+            counts[cause] = counts.get(cause, 0) + 1
+        return dict(sorted(counts.items()))
+
     def block(subset: Sequence[RequestOutcome]) -> Dict:
-        met = [o for o in subset if o.meets(targets)]
+        done = [o for o in subset if o.status == "completed"]
+        met = [o for o in done if o.meets(targets)]
         return {
-            "completed": len(subset),
+            "completed": len(done),
             "slo_attained": len(met),
-            "ttft_ms": _latency_block([units.to_ms(o.ttft_ns) for o in subset]),
+            "ttft_ms": _latency_block([units.to_ms(o.ttft_ns) for o in done]),
             "tpot_ms": _latency_block(
-                [units.to_ms(int(o.tpot_ns)) for o in subset]
+                [units.to_ms(int(o.tpot_ns)) for o in done]
             ),
-            "e2e_ms": _latency_block([units.to_ms(o.e2e_ns) for o in subset]),
+            "e2e_ms": _latency_block([units.to_ms(o.e2e_ns) for o in done]),
+            # Per-tenant fault attribution: who paid for the faults.
+            "shed": sum(1 for o in subset if o.status == "shed"),
+            "failed": sum(1 for o in subset if o.status == "failed"),
         }
 
     report = {
         "targets": {"ttft_ms": targets.ttft_ms, "tpot_ms": targets.tpot_ms},
         "duration_s": duration_s,
-        "offered": len(outcomes) + len(rejected),
+        "offered": offered,
         "rejected": len(rejected),
         "throughput_tok_s": tokens_out / duration_s if duration_s else 0.0,
-        "completed_rps": len(outcomes) / duration_s if duration_s else 0.0,
+        "completed_rps": len(completed) / duration_s if duration_s else 0.0,
         "goodput_rps": len(attained) / duration_s if duration_s else 0.0,
         "total_preemptions": sum(o.preemptions for o in outcomes),
+        # Degradation accounting: goodput vs shed rate is the figure of
+        # merit under faults — a policy trades explicit sheds for
+        # keeping the survivors inside their SLOs.
+        "shed_rate": len(shed) / offered if offered else 0.0,
+        "failed_rate": len(failed) / offered if offered else 0.0,
+        "shed_causes": cause_counts(shed),
+        "failed_causes": cause_counts(failed),
         **block(outcomes),
         "tenants": {
             name: block([o for o in outcomes if o.tenant == name])

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import pathlib
+
 import pytest
 
 from repro.cli import main
@@ -226,3 +228,50 @@ def test_serve_writes_chrome_trace(tmp_path, capsys):
 def test_serve_rejects_bad_duration():
     with pytest.raises(SystemExit, match="duration"):
         main(["serve", "--duration", "fast"])
+
+
+@pytest.mark.parametrize(
+    "flags",
+    [
+        ["--rate", "0"],
+        ["--rate", "-3"],
+        ["--rate", "lots"],
+        ["--tenants", "0"],
+        ["--tenants", "-1"],
+        ["--seed", "-1"],
+        ["--max-queue-depth", "-2"],
+        ["--deadline", "-10"],
+    ],
+)
+def test_serve_rejects_bad_values_at_argparse_level(flags, capsys):
+    # Typed exit code 2 (argparse usage error), before any simulation.
+    with pytest.raises(SystemExit) as exc:
+        main(["serve"] + flags)
+    assert exc.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+SERVE_PLAN = str(
+    pathlib.Path(__file__).resolve().parent.parent
+    / "examples" / "serve_fault_plan.json"
+)
+
+
+def test_serve_fault_plan_run(tmp_path, capsys):
+    verdict = tmp_path / "faults.json"
+    assert main([
+        "serve", "--rate", "8", "--duration", "250ms", "--cc",
+        "--fault-plan", SERVE_PLAN, "--seed", "7",
+        "--shed-policy", "pushback", "--circuit-breaker",
+        "--max-queue-depth", "32", "--deadline", "3000",
+        "--ttft-timeout", "800", "--verdict", str(verdict),
+    ]) == 0
+    payload = verdict.read_text()
+    assert '"active": true' in payload
+    assert '"shed_policy": "pushback"' in payload
+
+
+def test_serve_rejects_conflicting_fault_flags():
+    with pytest.raises(SystemExit, match="mutually exclusive"):
+        main(["serve", "--fault-plan", SERVE_PLAN,
+              "--fault-rate", "0.01"])

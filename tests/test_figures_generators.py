@@ -156,3 +156,25 @@ def test_extension_sensitivity_small():
     result = extensions.generate_sensitivity(seeds=(0, 1), apps=("2mm",))
     _columns_match(result)
     assert len(result.rows) == 2
+
+
+def test_extension_fault_serving_small():
+    # Reduced sweep: structure + zero-perturbation parity only (the
+    # cliff/graceful predicates need the full-size run, gated by the
+    # golden snapshot and accuracy checks).
+    from repro.figures import ext_fault_serving
+
+    result = ext_fault_serving.generate_fault_serving(
+        fault_rates=(0.0, 0.1),
+        variants=("none", "shed+breaker"),
+        duration_s=0.5,
+    )
+    _columns_match(result)
+    assert len(result.rows) == 8  # 2 modes x 2 rates x 2 policies
+    parity = [c for c in result.comparisons
+              if "byte-identical" in c["metric"]]
+    assert parity and parity[0]["measured"] == 1.0
+    for row in result.rows:
+        offered = dict(zip(result.columns, row))
+        assert (offered["completed"] + offered["shed"]
+                + offered["failed"]) > 0
