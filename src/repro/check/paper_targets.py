@@ -263,6 +263,22 @@ TARGETS: Dict[str, Dict[str, PaperTarget]] = {
         "shed+breaker beats no-policy at top fault rate (fraction)":
             _lit(1.0, source="degradation-policy regime (Sec. VIII)"),
     },
+    "ext_serve_telemetry": {
+        # Exact predicates for the request-level telemetry layer
+        # (repro.serve.telemetry): pure bookkeeping must not move the
+        # verdict by a byte, per-request Sec.-V breakdowns must be
+        # conservative (integer-exact sums to E2E/TTFT), and the
+        # tail-forensics surface must reproduce the verdict's
+        # percentiles and fully attribute the base->CC p99 delta.
+        "telemetry-on verdict byte-identical to off (fraction of modes)":
+            _lit(1.0, source="zero-perturbation guarantee (Sec. III)"),
+        "per-request breakdown sums exactly to E2E/TTFT (fraction)":
+            _lit(1.0, source="Sec. V component model, conservation"),
+        "forensics percentiles equal the verdict report (fraction)":
+            _lit(1.0, source="nearest-rank percentile convention"),
+        "TTFT p99 delta fully attributed to components (fraction)":
+            _lit(1.0, source="The Serialized Bridge (Yin & Wang, 2026)"),
+    },
     "ext_fault_recovery": {
         "rate-0 span / no-plan span (zero-overhead guarantee)":
             _lit(1.0, source="repro.faults zero-overhead guarantee"),
@@ -297,6 +313,7 @@ ACCURACY_THRESHOLDS: Dict[str, float] = {
     "ext_fault_recovery": 1.0,      # rate-0 row is an exact guarantee
     "ext_serving": 1.0,             # fraction predicates are exact 1.0
     "ext_fault_serving": 1.0,       # fraction predicates are exact 1.0
+    "ext_serve_telemetry": 1.0,     # fraction predicates are exact 1.0
 }
 
 

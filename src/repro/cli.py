@@ -28,11 +28,21 @@ serve [--rate R] [--duration 2s] [--tenants N] [--policy fcfs|spf]
         swap|recompute] [--fault-plan P.json | --fault-rate R]
         [--deadline MS] [--ttft-timeout MS] [--shed-policy
         none|deadline|pushback] [--circuit-breaker] [--max-queue-depth N]
-        [--max-restarts N] [--verdict OUT.json] [--trace OUT.json] [--json]
+        [--max-restarts N] [--verdict OUT.json] [--trace OUT.json]
+        [--requests-out OUT.jsonl|csv] [--telemetry] [--json]
     Simulate a multi-tenant continuous-batching serving scenario
     (repro.serve), optionally under a fault plan with a degradation
     policy, and print its SLO summary; the verdict JSON is
-    byte-deterministic for a given flag set.
+    byte-deterministic for a given flag set.  --trace/--requests-out
+    enable request-scoped telemetry (per-request Perfetto tracks,
+    per-request CC-tax attribution records) without perturbing the
+    verdict.
+serve report [scenario flags] [--top K] [--by-tenant] [--diff] [--json]
+    Tail-latency forensics for one scenario: top-k slowest requests
+    with per-request Sec.-V blame (T/E/L/Q/K/D/recovery + queueing),
+    global percentiles recomputed from per-request records, optional
+    per-tenant rollup, and (--diff, with --cc) a base-vs-CC
+    attribution of the TTFT p99 delta.
 trace export APP -o OUT.json [--cc] [--uvm] ...
     Run one app and write its full observability record (events,
     spans, metrics) as Perfetto-loadable Chrome-trace JSON.
@@ -217,15 +227,19 @@ def _figures_module():
 
 
 def cmd_figures(args) -> int:
-    from .figures import ext_fault_serving, ext_serving, extensions
+    from .figures import (ext_fault_serving, ext_serve_telemetry,
+                          ext_serving, extensions)
 
     def _ext_result(ext_name):
-        # "serving"/"fault_serving" live in their own modules (they
-        # layer on repro.serve rather than the single-app harness).
+        # "serving"/"fault_serving"/"serve_telemetry" live in their
+        # own modules (they layer on repro.serve rather than the
+        # single-app harness).
         if ext_name == "serving":
             return ext_serving.generate_serving()
         if ext_name == "fault_serving":
             return ext_fault_serving.generate_fault_serving()
+        if ext_name == "serve_telemetry":
+            return ext_serve_telemetry.generate_serve_telemetry()
         return getattr(extensions, f"generate_{ext_name}")()
 
     names = args.ids or sorted(_FAST_FIGURES)
@@ -235,16 +249,17 @@ def cmd_figures(args) -> int:
         elif name in ("fig12c", "fig13", "fig14"):
             result = _SLOW_FIGURES[name]()
         elif name == "ext":
-            for ext_name in (*_EXTENSIONS, "serving", "fault_serving"):
+            for ext_name in (*_EXTENSIONS, "serving", "fault_serving",
+                             "serve_telemetry"):
                 result = _ext_result(ext_name)
                 print(result.to_text())
                 print(f"[saved] {result.save(args.out)}\n")
             continue
-        elif name in _EXTENSIONS or name in ("serving", "fault_serving"):
+        elif name in _EXTENSIONS or name in ("serving", "fault_serving", "serve_telemetry"):
             result = _ext_result(name)
         else:
             known = (sorted(_FAST_FIGURES) + sorted(_SLOW_FIGURES)
-                     + list(_EXTENSIONS) + ["serving", "fault_serving"])
+                     + list(_EXTENSIONS) + ["serving", "fault_serving", "serve_telemetry"])
             print(f"unknown figure {name!r}; known: {known}",
                   file=sys.stderr)
             return 2
@@ -515,36 +530,60 @@ def _run_traced(args, cc: bool, label_suffix: str = ""):
     return machine.trace
 
 
-def cmd_serve(args) -> int:
-    """``repro serve``: one multi-tenant serving scenario + verdict."""
-    from .serve import (
-        ScenarioSpec,
-        parse_duration_ns,
-        run_scenario,
-        verdict_json,
+def _build_serve_spec(args):
+    """ScenarioSpec from the shared serve/`serve report` flag set."""
+    from .serve import ScenarioSpec, parse_duration_ns
+
+    return ScenarioSpec(
+        rate_rps=args.rate,
+        duration_ns=parse_duration_ns(args.duration),
+        tenants=args.tenants,
+        policy=args.policy,
+        seed=args.seed if args.seed is not None else 42,
+        process=args.process,
+        max_num_seqs=args.max_num_seqs,
+        max_batch_tokens=args.max_batch_tokens,
+        preemption=args.preemption,
+        kv_budget_bytes=args.kv_budget_mib * units.MiB,
+        deadline_ms=args.deadline,
+        ttft_timeout_ms=args.ttft_timeout,
+        shed_policy=args.shed_policy,
+        circuit_breaker=args.circuit_breaker,
+        max_queue_depth=args.max_queue_depth,
+        max_engine_restarts=args.max_restarts,
     )
 
+
+def _write_requests(attributions, path: str) -> None:
+    """Per-request export: CSV by extension, JSONL otherwise."""
+    from .serve import requests_csv, requests_jsonl
+
+    payload = (
+        requests_csv(attributions)
+        if path.endswith(".csv")
+        else requests_jsonl(attributions)
+    )
+    with open(path, "w") as handle:
+        handle.write(payload)
+    print(f"per-request records -> {path}")
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: one multi-tenant serving scenario + verdict."""
+    from .serve import run_scenario, verdict_json
+
+    if getattr(args, "serve_command", None) == "report":
+        return cmd_serve_report(args)
+
+    # Telemetry is pure bookkeeping (the verdict is byte-identical
+    # either way); enable it whenever an output wants the per-request
+    # records.
+    telemetry = bool(args.trace or args.requests_out or args.telemetry)
     try:
-        duration_ns = parse_duration_ns(args.duration)
-        spec = ScenarioSpec(
-            rate_rps=args.rate,
-            duration_ns=duration_ns,
-            tenants=args.tenants,
-            policy=args.policy,
-            seed=args.seed if args.seed is not None else 42,
-            process=args.process,
-            max_num_seqs=args.max_num_seqs,
-            max_batch_tokens=args.max_batch_tokens,
-            preemption=args.preemption,
-            kv_budget_bytes=args.kv_budget_mib * units.MiB,
-            deadline_ms=args.deadline,
-            ttft_timeout_ms=args.ttft_timeout,
-            shed_policy=args.shed_policy,
-            circuit_breaker=args.circuit_breaker,
-            max_queue_depth=args.max_queue_depth,
-            max_engine_restarts=args.max_restarts,
+        spec = _build_serve_spec(args)
+        trace, result = run_scenario(
+            spec, _config(args), telemetry=telemetry
         )
-        trace, result = run_scenario(spec, _config(args))
     except ValueError as exc:
         raise SystemExit(str(exc))
     report = result.report
@@ -586,8 +625,72 @@ def cmd_serve(args) -> int:
         with open(args.trace, "w") as handle:
             handle.write(trace.to_chrome_trace())
         print(f"chrome trace -> {args.trace}")
+    if args.requests_out:
+        _write_requests(result.attributions, args.requests_out)
     if args.json:
         print(payload)
+    return 0
+
+
+def cmd_serve_report(args) -> int:
+    """``repro serve report``: tail-latency forensics for a scenario.
+
+    Runs the scenario with telemetry, prints the top-k slowest
+    requests with per-request Sec.-V blame, the global percentiles
+    recomputed from the per-request records, and (with ``--diff``) a
+    base-vs-CC attribution of the TTFT p99 delta.
+    """
+    import json as json_mod
+
+    from .config import SystemConfig
+    from .serve import (
+        forensics_diff,
+        render_forensics_diff,
+        render_tail_report,
+        run_scenario,
+        tail_report,
+        tenant_rollup,
+    )
+
+    try:
+        spec = _build_serve_spec(args)
+        config = _config(args)
+        trace, result = run_scenario(spec, config, telemetry=True)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    attributions = result.attributions
+    report = tail_report(attributions, top=args.top)
+    rollup = tenant_rollup(attributions) if args.by_tenant else None
+    mode = "cc" if result.cc else "base"
+    print(
+        f"serve report[{mode}] policy={spec.policy} "
+        f"rate={spec.rate_rps:g} rps x {spec.tenants} tenants, "
+        f"seed {spec.seed}"
+    )
+    print(render_tail_report(report, rollup))
+    if args.diff:
+        if not result.cc:
+            raise SystemExit(
+                "serve report --diff compares base vs CC: add --cc"
+            )
+        try:
+            _, base_result = run_scenario(
+                spec, SystemConfig.base(seed=config.seed), telemetry=True
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print()
+        print(render_forensics_diff(
+            forensics_diff(base_result.attributions, attributions)
+        ))
+    if args.requests_out:
+        _write_requests(attributions, args.requests_out)
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(trace.to_chrome_trace())
+        print(f"chrome trace -> {args.trace}")
+    if args.json:
+        print(json_mod.dumps(report, indent=1, sort_keys=True))
     return 0
 
 
@@ -626,6 +729,16 @@ def cmd_trace(args) -> int:
             cc_trace = _run_traced(args, cc=True, label_suffix="|cc")
         result = summary.diff(base_trace, cc_trace, tolerance=args.tolerance)
         print(summary.render_diff(result))
+        # Serving traces with per-request telemetry additionally get
+        # the tail-forensics diff (which component moved the TTFT p99).
+        if summary.serve_attributions(base_trace) and \
+                summary.serve_attributions(cc_trace):
+            from .serve import render_forensics_diff
+
+            print()
+            print(render_forensics_diff(
+                summary.serve_tail_diff(base_trace, cc_trace)
+            ))
         return 1 if result.flagged else 0
 
     if args.trace_command == "validate":
@@ -774,66 +887,105 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--uvm", action="store_true")
     _add_fault_args(faults_p)
 
+    def _add_serve_scenario_args(parser: argparse.ArgumentParser) -> None:
+        """Scenario flags shared by ``serve`` and ``serve report``."""
+        parser.add_argument(
+            "--rate", type=_positive_float, default=8.0,
+            help="total offered arrival rate, req/s (default 8)")
+        parser.add_argument(
+            "--duration", default="2s", metavar="DUR",
+            help="arrival window, e.g. 2s or 500ms (default 2s)")
+        parser.add_argument(
+            "--tenants", type=_positive_int, default=2,
+            help="number of tenants sharing the rate (default 2)")
+        parser.add_argument(
+            "--policy", choices=("fcfs", "spf"), default="fcfs",
+            help="admission order (default fcfs)")
+        parser.add_argument(
+            "--process", choices=("poisson", "gamma"), default="poisson",
+            help="arrival process (gamma = bursty)")
+        parser.add_argument("--cc", action="store_true")
+        parser.add_argument(
+            "--seed", type=_nonneg_int, default=None,
+            help="arrival + platform seed (default 42)")
+        parser.add_argument("--max-num-seqs", type=int, default=16)
+        parser.add_argument("--max-batch-tokens", type=int, default=2048)
+        parser.add_argument(
+            "--preemption", choices=("swap", "recompute"), default="swap",
+            help="KV-exhaustion policy (default swap)")
+        parser.add_argument(
+            "--kv-budget-mib", type=int, default=96,
+            help="KV-cache HBM budget in MiB (default 96)")
+        parser.add_argument(
+            "--fault-plan", default="", metavar="PLAN.json",
+            help="JSON fault plan (see examples/serve_fault_plan.json)")
+        parser.add_argument(
+            "--fault-rate", type=float, default=None, metavar="R",
+            help="uniform per-occurrence fault rate at all sites")
+        parser.add_argument(
+            "--trace", default="", metavar="OUT.json",
+            help="write the chrome trace here (enables telemetry: "
+                 "per-request tracks + tagged engine ops)")
+        parser.add_argument(
+            "--requests-out", default="", metavar="OUT.jsonl|csv",
+            help="write byte-deterministic per-request attribution "
+                 "records (JSONL, or CSV by extension)")
+        degrade_group = parser.add_argument_group(
+            "degradation policy (repro.serve.lifecycle)",
+            "how the engine degrades under faults instead of collapsing",
+        )
+        degrade_group.add_argument(
+            "--deadline", type=_nonneg_float, default=0.0, metavar="MS",
+            help="end-to-end deadline per request, ms (0 = none)")
+        degrade_group.add_argument(
+            "--ttft-timeout", type=_nonneg_float, default=0.0, metavar="MS",
+            help="shed a queued request waiting longer than MS (0 = none)")
+        degrade_group.add_argument(
+            "--shed-policy", choices=("none", "deadline", "pushback"),
+            default="none",
+            help="load-shedding aggressiveness (default none)")
+        degrade_group.add_argument(
+            "--circuit-breaker", action="store_true",
+            help="pause admission and drain during SPDM storms")
+        degrade_group.add_argument(
+            "--max-queue-depth", type=_nonneg_int, default=0, metavar="N",
+            help="admission pushback threshold (0 = unbounded)")
+        degrade_group.add_argument(
+            "--max-restarts", type=_nonneg_int, default=2, metavar="N",
+            help="engine crash-and-restart budget (default 2)")
+
     serve_p = sub.add_parser(
         "serve",
         help="simulate a multi-tenant serving scenario (repro.serve)",
     )
-    serve_p.add_argument("--rate", type=_positive_float, default=8.0,
-                         help="total offered arrival rate, req/s (default 8)")
-    serve_p.add_argument("--duration", default="2s", metavar="DUR",
-                         help="arrival window, e.g. 2s or 500ms (default 2s)")
-    serve_p.add_argument("--tenants", type=_positive_int, default=2,
-                         help="number of tenants sharing the rate (default 2)")
-    serve_p.add_argument("--policy", choices=("fcfs", "spf"), default="fcfs",
-                         help="admission order (default fcfs)")
-    serve_p.add_argument("--process", choices=("poisson", "gamma"),
-                         default="poisson",
-                         help="arrival process (gamma = bursty)")
-    serve_p.add_argument("--cc", action="store_true")
-    serve_p.add_argument("--seed", type=_nonneg_int, default=None,
-                         help="arrival + platform seed (default 42)")
-    serve_p.add_argument("--max-num-seqs", type=int, default=16)
-    serve_p.add_argument("--max-batch-tokens", type=int, default=2048)
-    serve_p.add_argument("--preemption", choices=("swap", "recompute"),
-                         default="swap",
-                         help="KV-exhaustion policy (default swap)")
-    serve_p.add_argument("--kv-budget-mib", type=int, default=96,
-                         help="KV-cache HBM budget in MiB (default 96)")
-    serve_p.add_argument("--fault-plan", default="", metavar="PLAN.json",
-                         help="JSON fault plan (see "
-                              "examples/serve_fault_plan.json)")
-    serve_p.add_argument("--fault-rate", type=float, default=None,
-                         metavar="R",
-                         help="uniform per-occurrence fault rate at all sites")
-    degrade_group = serve_p.add_argument_group(
-        "degradation policy (repro.serve.lifecycle)",
-        "how the engine degrades under faults instead of collapsing",
-    )
-    degrade_group.add_argument(
-        "--deadline", type=_nonneg_float, default=0.0, metavar="MS",
-        help="end-to-end deadline per request, ms (0 = none)")
-    degrade_group.add_argument(
-        "--ttft-timeout", type=_nonneg_float, default=0.0, metavar="MS",
-        help="shed a queued request waiting longer than MS (0 = none)")
-    degrade_group.add_argument(
-        "--shed-policy", choices=("none", "deadline", "pushback"),
-        default="none",
-        help="load-shedding aggressiveness (default none)")
-    degrade_group.add_argument(
-        "--circuit-breaker", action="store_true",
-        help="pause admission and drain during SPDM storms")
-    degrade_group.add_argument(
-        "--max-queue-depth", type=_nonneg_int, default=0, metavar="N",
-        help="admission pushback threshold (0 = unbounded)")
-    degrade_group.add_argument(
-        "--max-restarts", type=_nonneg_int, default=2, metavar="N",
-        help="engine crash-and-restart budget (default 2)")
+    serve_sub = serve_p.add_subparsers(dest="serve_command")
+    serve_p.set_defaults(serve_command=None)
+    _add_serve_scenario_args(serve_p)
     serve_p.add_argument("--verdict", default="", metavar="OUT.json",
                          help="write the deterministic verdict JSON here")
-    serve_p.add_argument("--trace", default="", metavar="OUT.json",
-                         help="write the chrome trace here")
+    serve_p.add_argument("--telemetry", action="store_true",
+                         help="collect per-request telemetry even "
+                              "without an output (zero perturbation)")
     serve_p.add_argument("--json", action="store_true",
                          help="print the verdict JSON to stdout")
+
+    sreport_p = serve_sub.add_parser(
+        "report",
+        help="tail-latency forensics: top-k slowest requests with "
+             "per-request CC-tax blame",
+    )
+    _add_serve_scenario_args(sreport_p)
+    sreport_p.add_argument("--top", type=_positive_int, default=5,
+                           metavar="K",
+                           help="slowest requests to show (default 5)")
+    sreport_p.add_argument("--by-tenant", action="store_true",
+                           help="append the per-tenant rollup")
+    sreport_p.add_argument("--diff", action="store_true",
+                           help="also run the base-mode scenario and "
+                                "attribute the TTFT p99 delta "
+                                "(requires --cc)")
+    sreport_p.add_argument("--json", action="store_true",
+                           help="print the forensics report as JSON")
 
     trace_p = sub.add_parser(
         "trace", help="export / summarize / diff observability traces"

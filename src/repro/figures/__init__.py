@@ -7,6 +7,7 @@ the text tables and tee JSON into ``results/``.
 from .common import FigureResult, default_results_dir
 from . import (
     ext_fault_serving,
+    ext_serve_telemetry,
     ext_serving,
     extensions,
     fig01_overview,
@@ -30,6 +31,7 @@ __all__ = [
     "FigureResult",
     "default_results_dir",
     "ext_fault_serving",
+    "ext_serve_telemetry",
     "ext_serving",
     "extensions",
     "fig01_overview",

@@ -12,6 +12,7 @@ registry can never perturb simulated timings.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
@@ -23,10 +24,13 @@ def percentile(values: Sequence[Number], pct: float) -> float:
     Uses the same convention as the serving results (index
     ``min(n - 1, int(pct / 100 * n))``) so every percentile reported
     anywhere in the repo reduces identically. Returns 0.0 on empty
-    input.
+    input.  NaN samples are rejected (``ValueError``): a NaN would
+    sort unpredictably and silently poison every rank above it.
     """
     if not values:
         return 0.0
+    if any(isinstance(v, float) and math.isnan(v) for v in values):
+        raise ValueError("percentile: NaN sample in input")
     ordered = sorted(values)
     index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
     return float(ordered[index])
@@ -99,6 +103,10 @@ class Histogram(Metric):
     def observe(self, value: Number) -> None:
         if not self._registry.enabled:
             return
+        if isinstance(value, float) and math.isnan(value):
+            # Reject at the door: a NaN observation would make every
+            # later summary() raise far from the culprit.
+            raise ValueError(f"histogram {self.name!r}: NaN observation")
         self.values.append(value)
 
     @property

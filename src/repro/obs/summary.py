@@ -16,6 +16,12 @@ reports:
 * :func:`diff` — CC-on vs CC-off attribution: per-component deltas,
   each component's share of the total overhead, and a drift check of
   the Sec.-V model prediction against the observed span.
+* :func:`serve_attributions` / :func:`serve_tail_diff` — serving-trace
+  awareness: traces carrying per-request telemetry spans (layer
+  ``serve.req``, see :mod:`repro.serve.telemetry`) get their request
+  records reconstructed, a serving section in :func:`summarize`, and a
+  tail-forensics diff attributing the base-vs-CC TTFT p99 delta to the
+  same Sec.-V components.
 
 This module deliberately lives outside ``repro.obs.__init__`` —
 importing it pulls in :mod:`repro.core`, which imports the profiler,
@@ -103,6 +109,76 @@ def layer_table(trace: Trace) -> List[LayerRow]:
     ]
 
 
+def serve_attributions(trace: Trace) -> List:
+    """Reconstruct per-request telemetry records from a serving trace.
+
+    The inverse of :func:`repro.serve.telemetry.record_telemetry_spans`
+    for the ``serve.req`` root spans; works on live traces and on
+    traces re-imported from a Chrome export (attrs round-trip).
+    Returns ``[]`` for traces without serving telemetry.  Imported
+    lazily to keep the obs -> serve dependency one-directional at
+    module load.
+    """
+    from ..serve.telemetry import (
+        ATTRIBUTION_COMPONENTS,
+        SERVE_REQUEST_LAYER,
+        RequestAttribution,
+    )
+
+    attributions = []
+    for span in trace.spans:
+        if span.layer != SERVE_REQUEST_LAYER or span.name != "request":
+            continue
+        attrs = span.attrs
+        attributions.append(
+            RequestAttribution(
+                req_id=int(attrs["req"]),
+                tenant=str(attrs["tenant"]),
+                status=str(attrs["status"]),
+                cause=str(attrs["cause"]),
+                arrival_ns=span.start_ns,
+                admitted_ns=attrs["admitted_ns"],
+                first_token_ns=attrs["first_token_ns"],
+                finish_ns=span.end_ns,
+                prompt_tokens=int(attrs["prompt_tokens"]),
+                gen_tokens=int(attrs["gen_tokens"]),
+                preemptions=int(attrs["preemptions"]),
+                components={
+                    c: attrs[f"c_{c}"]
+                    for c in ATTRIBUTION_COMPONENTS
+                    if attrs.get(f"c_{c}")
+                },
+                ttft_components={
+                    c: attrs[f"f_{c}"]
+                    for c in ATTRIBUTION_COMPONENTS
+                    if attrs.get(f"f_{c}")
+                },
+            )
+        )
+    attributions.sort(key=lambda a: a.req_id)
+    return attributions
+
+
+def serve_tail_diff(base_trace: Trace, cc_trace: Trace) -> Dict:
+    """Tail-forensics diff between two serving traces with telemetry.
+
+    Raises ``ValueError`` if either trace carries no per-request
+    telemetry spans.  The returned dict is
+    :func:`repro.serve.telemetry.forensics_diff` output: per-component
+    deltas that sum exactly to the TTFT p99 delta.
+    """
+    from ..serve.telemetry import forensics_diff
+
+    base = serve_attributions(base_trace)
+    cc = serve_attributions(cc_trace)
+    if not base or not cc:
+        raise ValueError(
+            "serve_tail_diff needs two traces with serve telemetry "
+            "(run `repro serve --trace` with telemetry enabled)"
+        )
+    return forensics_diff(base, cc)
+
+
 def top_spans(trace: Trace, count: int = 10) -> List[Span]:
     """The ``count`` longest spans (ties broken by id for determinism)."""
     return sorted(
@@ -153,6 +229,36 @@ def summarize(trace: Trace, top: int = 10) -> str:
             f"  {_COMPONENT_LABELS[key]:<28}"
             f"{units.to_ms(comps[key]):12.3f} ms"
         )
+
+    attributions = serve_attributions(trace)
+    if attributions:
+        from ..serve.telemetry import (
+            ATTRIBUTION_COMPONENTS,
+            latency_percentiles,
+        )
+
+        pct = latency_percentiles(attributions)
+        done = sum(1 for a in attributions if a.status == "completed")
+        shed = sum(1 for a in attributions if a.status == "shed")
+        failed = sum(1 for a in attributions if a.status == "failed")
+        lines.append("")
+        lines.append(
+            f"serving telemetry: {len(attributions)} requests "
+            f"({done} completed, {shed} shed, {failed} failed)"
+        )
+        lines.append(
+            f"  ttft p50/p99 {pct['ttft_ms']['p50']:.2f}/"
+            f"{pct['ttft_ms']['p99']:.2f} ms  "
+            f"e2e p99 {pct['e2e_ms']['p99']:.2f} ms"
+        )
+        sums = {c: 0 for c in ATTRIBUTION_COMPONENTS}
+        for attribution in attributions:
+            for component, value in attribution.components.items():
+                sums[component] += value
+        lines.append("  request-time blame: " + ", ".join(
+            f"{c}={units.to_ms(v):.2f}ms"
+            for c, v in sums.items() if v
+        ))
 
     counters = [
         m for m in trace.metrics.sampled() if m.series

@@ -177,12 +177,36 @@ class Trace:
                 }
             )
 
+        # Per-request tracks: serving-telemetry request spans (layer
+        # "serve.req") get one thread track per request id so Perfetto
+        # shows each request's lifecycle on its own row.  Tids are
+        # allocated after every layer tid, sorted by request id —
+        # deterministic, and invisible to the importer (which
+        # reconstructs spans from args, not tids), so traces still
+        # round-trip byte-identically.
+        request_ids = sorted({
+            span.attrs["req"]
+            for span in self.spans
+            if span.layer == "serve.req" and "req" in span.attrs
+        })
+        next_tid = max(
+            list(layer_tids.values()) + [_FIRST_DYNAMIC_TID - 1]
+        ) + 1
+        request_tids = {
+            req_id: next_tid + offset
+            for offset, req_id in enumerate(request_ids)
+        }
+
         span_rows = []
         for span in sorted(
             self.spans, key=lambda s: (s.start_ns, s.span_id)
         ):
-            tid = layer_tids[span.layer]
-            used_tids[tid] = f"layer:{span.layer}"
+            if span.layer == "serve.req" and "req" in span.attrs:
+                tid = request_tids[span.attrs["req"]]
+                used_tids[tid] = f"req:{span.attrs['req']}"
+            else:
+                tid = layer_tids[span.layer]
+                used_tids[tid] = f"layer:{span.layer}"
             args = {
                 "id": span.span_id,
                 "parent": span.parent_id,

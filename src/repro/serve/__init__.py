@@ -27,6 +27,10 @@ CC cost.  Pipeline:
 * :mod:`repro.serve.scenario` — one-call scenario runner shared by
   ``repro serve``, the ``ext_serving``/``ext_fault_serving`` figures
   and the tests.
+* :mod:`repro.serve.telemetry` — request-scoped telemetry: per-request
+  CC-tax attribution in the paper's Sec.-V vocabulary, tenant rollups,
+  tail-latency forensics and byte-deterministic JSONL/CSV exports
+  (``repro serve report``).
 """
 
 from .arrivals import (
@@ -73,13 +77,35 @@ from .scheduler import (
     SERVE_MODEL,
 )
 from .slo import RequestOutcome, SLOTargets, SLOTracker, build_report
+from .telemetry import (
+    ATTRIBUTION_COMPONENTS,
+    EngineOp,
+    NULL_TELEMETRY,
+    RequestAttribution,
+    ServeTelemetry,
+    TelemetryError,
+    attribute_requests,
+    component_timeline,
+    forensics_diff,
+    latency_percentiles,
+    pick_percentile_request,
+    record_telemetry_spans,
+    render_forensics_diff,
+    render_tail_report,
+    requests_csv,
+    requests_jsonl,
+    tail_report,
+    tenant_rollup,
+)
 
 __all__ = [
+    "ATTRIBUTION_COMPONENTS",
     "ARRIVAL_PROCESSES",
     "ArrivalError",
     "COMPLETED",
     "ContinuousBatchingScheduler",
     "DegradationPolicy",
+    "EngineOp",
     "EngineResult",
     "FAILED",
     "IterationPlan",
@@ -87,10 +113,12 @@ __all__ = [
     "LengthTrace",
     "LifecycleError",
     "LifecycleLedger",
+    "NULL_TELEMETRY",
     "POLICIES",
     "PagerStats",
     "PreemptPlan",
     "REJECTED",
+    "RequestAttribution",
     "RequestOutcome",
     "RestorePlan",
     "SERVE_MODEL",
@@ -102,19 +130,31 @@ __all__ = [
     "ScenarioSpec",
     "SchedulerConfig",
     "ServeRequest",
+    "ServeTelemetry",
     "ServingEngine",
     "TERMINAL_STATES",
     "TRACES",
+    "TelemetryError",
     "TenantSpec",
+    "attribute_requests",
     "build_report",
+    "component_timeline",
     "default_tenants",
     "fault_plan_summary",
+    "forensics_diff",
     "generate_arrivals",
+    "latency_percentiles",
     "parse_duration_ns",
+    "pick_percentile_request",
     "predicted_step_cc_overhead_ns",
+    "record_telemetry_spans",
+    "render_forensics_diff",
+    "render_tail_report",
+    "requests_csv",
+    "requests_jsonl",
     "run_scenario",
     "scenario_verdict",
     "stream_digest",
-    "tenant_rng",
-    "verdict_json",
+    "tail_report",
+    "tenant_rollup",
 ]

@@ -37,6 +37,12 @@ from .scheduler import (
     ServingEngine,
 )
 from .slo import SLOTargets, build_report
+from .telemetry import (
+    RequestAttribution,
+    ServeTelemetry,
+    attribute_requests,
+    record_telemetry_spans,
+)
 
 
 @dataclass(frozen=True)
@@ -125,6 +131,10 @@ class ScenarioResult:
     engine: EngineResult
     report: Dict
     faults: Optional[Dict] = None
+    #: Per-request CC-tax attributions (telemetry runs only).  Kept
+    #: out of :func:`scenario_verdict` on purpose: the verdict JSON is
+    #: byte-identical whether or not telemetry was enabled.
+    attributions: Optional[List[RequestAttribution]] = None
 
     @property
     def goodput_rps(self) -> float:
@@ -137,8 +147,17 @@ class ScenarioResult:
 def run_scenario(
     spec: ScenarioSpec,
     config: Optional[SystemConfig] = None,
+    telemetry: bool = False,
 ):
-    """Run one scenario; returns ``(trace, ScenarioResult)``."""
+    """Run one scenario; returns ``(trace, ScenarioResult)``.
+
+    With ``telemetry=True`` the run also produces per-request CC-tax
+    attributions (``result.attributions``) and appends the per-request
+    tracks + tagged engine ops to the returned trace.  Telemetry is a
+    run *parameter*, not part of :class:`ScenarioSpec`: the spec (and
+    therefore the verdict JSON, which embeds it) is identical either
+    way — the zero-perturbation invariant.
+    """
     config = config or SystemConfig.base()
     requests = generate_arrivals(
         spec.tenant_specs(), spec.duration_ns, spec.seed
@@ -150,7 +169,10 @@ def run_scenario(
         targets=spec.slo_targets(),
         degrade=spec.degrade(),
     )
-    trace, result = engine.run(config, requests, label=spec.label(config))
+    tel = ServeTelemetry() if telemetry else None
+    trace, result = engine.run(
+        config, requests, label=spec.label(config), telemetry=tel
+    )
     # Rates are computed over the full busy window (arrival window +
     # drain), so an overloaded run reports its saturation throughput
     # rather than dividing by the nominal duration.
@@ -158,6 +180,10 @@ def run_scenario(
     report = build_report(
         result.outcomes, result.rejected, window_ns, spec.slo_targets()
     )
+    attributions = None
+    if tel is not None:
+        attributions = attribute_requests(result.outcomes, tel, trace)
+        record_telemetry_spans(attributions, tel.ops, trace)
     return trace, ScenarioResult(
         spec=spec,
         cc=config.cc_on,
@@ -166,6 +192,7 @@ def run_scenario(
         engine=result,
         report=report,
         faults=fault_plan_summary(config),
+        attributions=attributions,
     )
 
 

@@ -58,6 +58,7 @@ from .lifecycle import (
     LifecycleLedger,
 )
 from .slo import RequestOutcome, SLOTargets, SLOTracker
+from .telemetry import NULL_TELEMETRY, ServeTelemetry
 
 POLICIES = ("fcfs", "spf")
 
@@ -432,15 +433,28 @@ class ServingEngine:
         config: SystemConfig,
         requests: List[ServeRequest],
         label: str = "serve",
+        telemetry: Optional[ServeTelemetry] = None,
     ):
-        """Boot a machine and serve the stream; returns (trace, result)."""
-        return run_app(self.app, config, label=label, requests=requests)
+        """Boot a machine and serve the stream; returns (trace, result).
+
+        ``telemetry``, when given, collects per-request lifecycle marks
+        and tagged engine operations (pure bookkeeping — the simulated
+        timings are byte-identical with or without it)."""
+        return run_app(
+            self.app, config, label=label,
+            requests=requests, telemetry=telemetry,
+        )
 
     def app(
-        self, rt: CudaRuntime, requests: List[ServeRequest]
+        self,
+        rt: CudaRuntime,
+        requests: List[ServeRequest],
+        telemetry: Optional[ServeTelemetry] = None,
     ) -> Generator:
         config = rt.config
         metrics = rt.guest.metrics
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        tel.bind_clock(lambda: rt.sim.now)
         degrade = self.degrade
         retry = config.retry
         faults_on = config.faults.active
@@ -479,7 +493,7 @@ class ServingEngine:
         preempt_counter = metrics.counter("serve.preemptions")
         swap_counter = metrics.counter("serve.swap_bytes")
 
-        def terminal(request, status, cause, when, first=0):
+        def terminal(request, status, cause, when, first=None):
             """Record one terminal state (exactly once, via the ledger)."""
             ledger.finish(request.req_id, status, cause)
             # SHED span taxonomy: a zero-duration "serve"-layer span per
@@ -533,14 +547,21 @@ class ServingEngine:
                     )
                     attempt += 1
 
+        def resident_ids():
+            """Requests currently paying engine costs (telemetry tags)."""
+            return tuple(sorted(
+                set(sched.running) | set(sched.warming) | set(sched.evicted)
+            ))
+
         def reattest(action):
             """Session teardown + full SPDM re-attestation (the KV keys
             rotate, but resident KV in HBM survives — only a *crash*
             loses KV)."""
-            restart_start = rt.sim.now
-            yield rt.sim.timeout(config.fault_model.spdm_restart_ns)
-            yield from attest_gpu(rt.sim, rt.guest, config)
-            rt.guest.record_recovery(SPDM_SITE, restart_start, 1, action)
+            with tel.op("reattest", resident_ids()):
+                restart_start = rt.sim.now
+                yield rt.sim.timeout(config.fault_model.spdm_restart_ns)
+                yield from attest_gpu(rt.sim, rt.guest, config)
+                rt.guest.record_recovery(SPDM_SITE, restart_start, 1, action)
             metrics.counter("serve.reattestations").inc()
 
         def queue_cap_now():
@@ -576,7 +597,7 @@ class ServingEngine:
                         sched.cancel(sid)
                         terminal(
                             request, SHED, "deadline", when,
-                            first=first_token.get(sid, 0),
+                            first=first_token.get(sid),
                         )
 
         def give_up(cause):
@@ -598,7 +619,7 @@ class ServingEngine:
                 sched.cancel(sid)
                 terminal(
                     request, FAILED, cause, when,
-                    first=first_token.get(sid, 0),
+                    first=first_token.get(sid),
                 )
             while index < len(pending):
                 request = pending[index]
@@ -659,6 +680,9 @@ class ServingEngine:
                         yield from reattest("spdm-storm")
 
                 plan = sched.plan(admit=not breaker_open)
+                for request in plan.admitted:
+                    # First admission only: queueing is arrival -> here.
+                    tel.admitted(request.req_id, rt.sim.now)
                 if not plan.busy:
                     if breaker_open:
                         # Batch drained: re-attest, close the breaker,
@@ -676,47 +700,63 @@ class ServingEngine:
                     preempt_counter.inc()
                     if evict.swap_bytes:
                         swap_counter.inc(evict.swap_bytes)
-                        yield from chunked_copy(
-                            swap_host, swap_dev, evict.swap_bytes
-                        )
+                        with tel.op("swap_out", (evict.seq_id,)):
+                            yield from chunked_copy(
+                                swap_host, swap_dev, evict.swap_bytes
+                            )
                 for restore in plan.restored:
                     if restore.swap_bytes:
                         swap_counter.inc(restore.swap_bytes)
-                        yield from chunked_copy(
-                            swap_dev, swap_host, restore.swap_bytes
-                        )
+                        with tel.op("swap_in", (restore.seq_id,)):
+                            yield from chunked_copy(
+                                swap_dev, swap_host, restore.swap_bytes
+                            )
                 if plan.admitted:
                     prompt_bytes = sum(
                         r.prompt_tokens for r in plan.admitted
                     ) * 4
-                    yield from paid(lambda: rt.memcpy(
-                        scratch_dev, prompt_host, max(prompt_bytes, 64)
-                    ))
+                    with tel.op(
+                        "prompt_upload",
+                        tuple(r.req_id for r in plan.admitted),
+                    ):
+                        yield from paid(lambda: rt.memcpy(
+                            scratch_dev, prompt_host, max(prompt_bytes, 64)
+                        ))
                 if plan.prefill_tokens:
-                    yield from paid(lambda: rt.launch(
-                        self.backend.prefill_kernel(
-                            config, plan.prefill_tokens
-                        )
-                    ))
+                    with tel.op(
+                        "prefill",
+                        tuple(sorted(
+                            {r.req_id for r in plan.admitted}
+                            | set(sched.warming)
+                        )),
+                    ):
+                        yield from paid(lambda: rt.launch(
+                            self.backend.prefill_kernel(
+                                config, plan.prefill_tokens
+                            )
+                        ))
 
                 # Iteration bookkeeping on the guest CPU.
-                yield from rt.cpu_gap(VLLM_STEP_SCHED_NS)
+                with tel.op("sched", resident_ids()):
+                    yield from rt.cpu_gap(VLLM_STEP_SCHED_NS)
 
                 if plan.decode_ids:
                     decode_steps += 1
                     contexts = [
                         pager.sequence_length(s) for s in plan.decode_ids
                     ]
-                    yield from paid(lambda: rt.launch(
-                        self.backend.decode_kernel(
-                            config,
-                            len(plan.decode_ids),
-                            float(np.mean(contexts)),
-                        )
-                    ))
-                    yield from paid(lambda: rt.memcpy(
-                        token_host, scratch_dev, 4 * len(plan.decode_ids)
-                    ))
+                    with tel.op("decode", tuple(plan.decode_ids)):
+                        yield from paid(lambda: rt.launch(
+                            self.backend.decode_kernel(
+                                config,
+                                len(plan.decode_ids),
+                                float(np.mean(contexts)),
+                            )
+                        ))
+                    with tel.op("token_d2h", tuple(plan.decode_ids)):
+                        yield from paid(lambda: rt.memcpy(
+                            token_host, scratch_dev, 4 * len(plan.decode_ids)
+                        ))
                     step_end = rt.sim.now
                     for sid in plan.decode_ids:
                         first_token.setdefault(sid, step_end)

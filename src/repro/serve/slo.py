@@ -45,14 +45,18 @@ class RequestOutcome:
     goodput), ``shed`` (terminated by a degradation policy: TTFT
     timeout, deadline, admission pushback) or ``failed`` (the engine
     gave up; ``cause`` names the fault site or policy responsible).
-    For shed/failed requests ``first_token_ns`` may be 0 (never
-    started) and ``finish_ns`` is the termination time.
+    ``first_token_ns`` is ``None`` for requests that never produced a
+    token (a request whose first token genuinely lands at sim-time 0
+    is therefore distinguishable from one that never started);
+    ``finish_ns`` is the termination time.
     """
 
     req_id: int
     tenant: str
     arrival_ns: int
-    first_token_ns: int  # absolute sim time of first emitted token
+    #: Absolute sim time of the first emitted token; ``None`` if the
+    #: request never produced one (only possible for shed/failed).
+    first_token_ns: Optional[int]
     finish_ns: int  # absolute sim time of last token
     prompt_tokens: int
     gen_tokens: int
@@ -61,7 +65,10 @@ class RequestOutcome:
     cause: str = ""
 
     @property
-    def ttft_ns(self) -> int:
+    def ttft_ns(self) -> Optional[int]:
+        """Time to first token; ``None`` if no token was emitted."""
+        if self.first_token_ns is None:
+            return None
         return self.first_token_ns - self.arrival_ns
 
     @property
@@ -71,13 +78,16 @@ class RequestOutcome:
     @property
     def tpot_ns(self) -> float:
         """Mean inter-token gap after the first token."""
-        if self.gen_tokens <= 1:
+        if self.first_token_ns is None or self.gen_tokens <= 1:
             return 0.0
         return (self.finish_ns - self.first_token_ns) / (self.gen_tokens - 1)
 
     def meets(self, targets: SLOTargets) -> bool:
+        ttft = self.ttft_ns
+        if ttft is None:
+            return False  # never produced a token -> cannot attain SLO
         return (
-            units.to_ms(self.ttft_ns) <= targets.ttft_ms
+            units.to_ms(ttft) <= targets.ttft_ms
             and units.to_ms(int(self.tpot_ns)) <= targets.tpot_ms
         )
 

@@ -275,3 +275,70 @@ def test_serve_rejects_conflicting_fault_flags():
     with pytest.raises(SystemExit, match="mutually exclusive"):
         main(["serve", "--fault-plan", SERVE_PLAN,
               "--fault-rate", "0.01"])
+
+
+# -- serving telemetry flags and the report subcommand ---------------------
+
+
+def test_serve_telemetry_flag_keeps_verdict_bytes(tmp_path, capsys):
+    args = ["serve", "--rate", "8", "--duration", "250ms",
+            "--cc", "--seed", "42"]
+    plain = tmp_path / "plain.json"
+    telem = tmp_path / "telem.json"
+    assert main(args + ["--verdict", str(plain)]) == 0
+    assert main(args + ["--telemetry", "--verdict", str(telem)]) == 0
+    # zero perturbation: telemetry must not move the verdict by a byte
+    assert plain.read_bytes() == telem.read_bytes()
+
+
+def test_serve_requests_out_jsonl_deterministic(tmp_path, capsys):
+    args = ["serve", "--rate", "8", "--duration", "250ms",
+            "--cc", "--seed", "42"]
+    first = tmp_path / "r1.jsonl"
+    second = tmp_path / "r2.jsonl"
+    assert main(args + ["--requests-out", str(first)]) == 0
+    assert main(args + ["--requests-out", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+    import json as _json
+
+    records = [
+        _json.loads(line) for line in first.read_text().splitlines()
+    ]
+    assert records
+    for record in records:
+        component_sum = sum(
+            v for k, v in record.items() if k.startswith("c_")
+        )
+        assert component_sum == record["e2e_ns"]
+
+
+def test_serve_requests_out_csv(tmp_path, capsys):
+    out = tmp_path / "requests.csv"
+    assert main(["serve", "--rate", "8", "--duration", "250ms",
+                 "--requests-out", str(out)]) == 0
+    lines = out.read_text().splitlines()
+    assert lines[0].startswith("req_id,")
+    assert len(lines) > 1
+
+
+def test_serve_report_prints_forensics(capsys):
+    assert main(["serve", "report", "--rate", "8", "--duration",
+                 "250ms", "--cc", "--top", "3", "--by-tenant"]) == 0
+    out = capsys.readouterr().out
+    assert "slowest requests" in out
+    assert "ttft p99" in out
+    assert "tenant" in out
+
+
+def test_serve_report_diff_attributes_delta(capsys):
+    assert main(["serve", "report", "--rate", "8", "--duration",
+                 "250ms", "--cc", "--diff"]) == 0
+    out = capsys.readouterr().out
+    assert "base" in out and "cc" in out
+    assert "dominant" in out
+
+
+def test_serve_report_diff_requires_cc():
+    with pytest.raises(SystemExit, match="--diff"):
+        main(["serve", "report", "--rate", "8", "--duration",
+              "250ms", "--diff"])

@@ -124,3 +124,48 @@ def test_import_series_and_histogram_restore():
     reg.import_histogram("lat", [1.5, 2.5])
     assert reg.gauge("bounce.used_bytes").series == [(0, 64), (9, 0)]
     assert reg.histogram("lat").values == [1.5, 2.5]
+
+
+def test_percentile_single_and_all_equal_samples():
+    # single sample: every percentile is that sample
+    for pct in (0, 1, 50, 99, 100):
+        assert percentile([3.25], pct) == 3.25
+    # all-equal samples: percentiles collapse to the common value
+    for pct in (0, 50, 95, 99, 100):
+        assert percentile([7.0] * 9, pct) == 7.0
+
+
+def test_percentile_rejects_nan_samples():
+    with pytest.raises(ValueError, match="NaN"):
+        percentile([1.0, float("nan"), 3.0], 50)
+
+
+def test_histogram_rejects_nan_observation():
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat")
+    with pytest.raises(ValueError, match="NaN"):
+        hist.observe(float("nan"))
+    # the rejected observation must not have been recorded
+    assert hist.values == []
+
+
+def test_histogram_summary_single_sample():
+    reg = MetricsRegistry()
+    hist = reg.histogram("one")
+    hist.observe(42.0)
+    assert hist.summary() == {
+        "count": 1, "mean": 42.0, "min": 42.0, "max": 42.0,
+        "p50": 42.0, "p95": 42.0, "p99": 42.0,
+    }
+
+
+def test_histogram_summary_all_equal_samples():
+    reg = MetricsRegistry()
+    hist = reg.histogram("flat")
+    for _ in range(5):
+        hist.observe(2.5)
+    summary = hist.summary()
+    assert summary["count"] == 5
+    assert summary["mean"] == 2.5
+    assert summary["min"] == summary["max"] == 2.5
+    assert summary["p50"] == summary["p95"] == summary["p99"] == 2.5

@@ -123,3 +123,61 @@ def test_exported_trace_track_floor(traces):
     counter_tracks = {r["name"] for r in rows if r["ph"] == "C"}
     assert len(layer_tracks) >= 5
     assert len(counter_tracks) >= 4
+
+
+# -- serving telemetry (request-level forensics) ---------------------------
+
+
+@pytest.fixture(scope="module")
+def serve_traces():
+    from repro.config import SystemConfig
+    from repro.serve import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec(rate_rps=16.0, duration_ns=units.NS_PER_SEC // 2)
+    base_trace, base = run_scenario(
+        spec, SystemConfig.base(), telemetry=True
+    )
+    cc_trace, cc = run_scenario(
+        spec, SystemConfig.confidential(), telemetry=True
+    )
+    return base_trace, base, cc_trace, cc
+
+
+def test_serve_attributions_reconstructs_results(serve_traces):
+    base_trace, base, cc_trace, cc = serve_traces
+    for trace, result in ((base_trace, base), (cc_trace, cc)):
+        rebuilt = summary.serve_attributions(trace)
+        assert rebuilt == sorted(
+            result.attributions, key=lambda a: a.req_id
+        )
+
+
+def test_serve_tail_diff_matches_verdict_reports(serve_traces):
+    base_trace, base, cc_trace, cc = serve_traces
+    diff = summary.serve_tail_diff(base_trace, cc_trace)
+    # The diff's endpoints are the two verdicts' TTFT p99 values, so
+    # the attributed delta is exactly the verdict-level regression.
+    base_p99 = base.report["ttft_ms"]["p99"]
+    cc_p99 = cc.report["ttft_ms"]["p99"]
+    assert diff["base_ttft_p99_ms"] == base_p99
+    assert diff["cc_ttft_p99_ms"] == cc_p99
+    assert units.to_ms(diff["delta_ns"]) == pytest.approx(
+        cc_p99 - base_p99
+    )
+    # Complete attribution: component deltas sum exactly to the delta.
+    assert sum(diff["components_delta_ns"].values()) == diff["delta_ns"]
+
+
+def test_serve_tail_diff_rejects_non_serving_traces(traces):
+    base_trace, cc_trace = traces
+    with pytest.raises(ValueError, match="serve telemetry"):
+        summary.serve_tail_diff(base_trace, cc_trace)
+
+
+def test_summarize_includes_serving_section(serve_traces):
+    _, _, cc_trace, cc = serve_traces
+    text = summary.summarize(cc_trace)
+    assert "serving telemetry" in text
+    assert f"{len(cc.attributions)} requests" in text
+    assert "request-time blame:" in text
+    assert "ttft p50/p99" in text

@@ -1,0 +1,91 @@
+"""Regression tests for ``RequestOutcome.first_token_ns: Optional[int]``.
+
+A request whose first token genuinely lands at sim-time 0 must be
+distinguishable from one that never produced a token at all — the old
+``first_token_ns=0`` sentinel conflated the two."""
+
+from repro import units
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.slo import (
+    RequestOutcome,
+    SLOTargets,
+    SLOTracker,
+    build_report,
+)
+
+
+def _outcome(**overrides) -> RequestOutcome:
+    base = dict(
+        req_id=0,
+        tenant="tenant-a",
+        arrival_ns=0,
+        first_token_ns=10_000,
+        finish_ns=50_000,
+        prompt_tokens=64,
+        gen_tokens=8,
+    )
+    base.update(overrides)
+    return RequestOutcome(**base)
+
+
+def test_first_token_at_time_zero_is_not_never_started():
+    at_zero = _outcome(first_token_ns=0)
+    never = _outcome(
+        first_token_ns=None, status="shed", cause="ttft_timeout"
+    )
+    assert at_zero.ttft_ns == 0
+    assert never.ttft_ns is None
+    # TTFT of exactly zero attains any positive target; None never does.
+    targets = SLOTargets(ttft_ms=1.0, tpot_ms=1000.0)
+    assert at_zero.meets(targets)
+    assert not never.meets(targets)
+
+
+def test_never_started_request_has_no_latency_metrics():
+    never = _outcome(first_token_ns=None, status="failed", cause="dma")
+    assert never.ttft_ns is None
+    assert never.tpot_ns == 0.0
+    assert never.e2e_ns == never.finish_ns - never.arrival_ns
+
+
+def test_tracker_ignores_latency_of_non_completed_outcomes():
+    metrics = MetricsRegistry()
+    metrics.bind_clock(lambda: 0)
+    tracker = SLOTracker(metrics)
+    tracker.observe(_outcome())
+    tracker.observe(
+        _outcome(req_id=1, first_token_ns=None, status="shed",
+                 cause="pushback")
+    )
+    # Only the completed request enters the TTFT histogram.
+    assert len(metrics.histogram("serve.ttft_ms").values) == 1
+    assert metrics.counter("serve.shed").value == 1
+
+
+def test_build_report_with_mixed_optional_first_tokens():
+    outcomes = [
+        _outcome(req_id=0),
+        _outcome(req_id=1, first_token_ns=0, arrival_ns=0),
+        _outcome(req_id=2, first_token_ns=None, status="shed",
+                 cause="deadline"),
+    ]
+    report = build_report(
+        outcomes,
+        rejected=[],
+        duration_ns=units.NS_PER_SEC,
+        targets=SLOTargets(),
+    )
+    assert report["completed"] == 2
+    assert report["shed"] == 1
+    assert report["shed_causes"] == {"deadline": 1}
+    # The report's TTFT block is over completed requests only, so the
+    # None first token never reaches the percentile math.
+    assert report["ttft_ms"]["p99"] >= 0.0
+
+
+def test_request_outcome_is_hashable_with_none_first_token():
+    # frozen dataclass: None must not break identity/equality semantics
+    a = _outcome(first_token_ns=None, status="failed")
+    b = _outcome(first_token_ns=None, status="failed")
+    assert a == b
+    assert hash(a) == hash(b)

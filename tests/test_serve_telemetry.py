@@ -1,0 +1,301 @@
+"""Tests for request-scoped serving telemetry: zero perturbation,
+exact per-request CC-tax conservation, forensics consistency with the
+verdict, per-request trace tracks, and byte-deterministic exports."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.config import SystemConfig
+from repro.faults import FaultPlan
+from repro.obs import summary
+from repro.profiler.importers import from_chrome_trace
+from repro.serve import (
+    ATTRIBUTION_COMPONENTS,
+    EngineOp,
+    ScenarioSpec,
+    ServeTelemetry,
+    TelemetryError,
+    component_timeline,
+    forensics_diff,
+    latency_percentiles,
+    pick_percentile_request,
+    requests_csv,
+    requests_jsonl,
+    run_scenario,
+    tail_report,
+    tenant_rollup,
+    verdict_json,
+)
+from repro.serve.telemetry import _clip, _merged, _subtract
+
+QUICK = ScenarioSpec(rate_rps=16.0, duration_ns=units.NS_PER_SEC // 2)
+
+# Forces paging (KV swaps) so swap_out/swap_in ops appear.
+PAGING = ScenarioSpec(
+    rate_rps=32.0,
+    duration_ns=units.NS_PER_SEC // 2,
+    max_num_seqs=8,
+    kv_budget_bytes=24 * units.MiB,
+)
+
+# Fault pressure + shedding so terminal states beyond "completed" and
+# recovery attribution both appear.
+FAULTY = ScenarioSpec(
+    rate_rps=24.0,
+    duration_ns=units.NS_PER_SEC // 2,
+    ttft_timeout_ms=120.0,
+    shed_policy="pushback",
+    max_queue_depth=4,
+    circuit_breaker=True,
+)
+
+
+def _faulty_config():
+    return SystemConfig.confidential().replace(
+        faults=FaultPlan.uniform(0.05, max_faults=12)
+    )
+
+
+@pytest.fixture(scope="module")
+def cc_run():
+    return run_scenario(QUICK, SystemConfig.confidential(), telemetry=True)
+
+
+@pytest.fixture(scope="module")
+def base_run():
+    return run_scenario(QUICK, SystemConfig.base(), telemetry=True)
+
+
+# -- interval algebra ------------------------------------------------------
+
+
+def test_interval_helpers():
+    assert _merged([(5, 9), (0, 3), (2, 4), (7, 7)]) == [(0, 4), (5, 9)]
+    assert _clip([(0, 4), (5, 9)], 2, 7) == [(2, 4), (5, 7)]
+    assert _clip([(0, 4)], 4, 9) == []
+    assert _subtract([(0, 10)], [(2, 4), (6, 8)]) == [
+        (0, 2), (4, 6), (8, 10),
+    ]
+    assert _subtract([(0, 10)], [(0, 10)]) == []
+
+
+def test_component_timeline_gap_fill_and_overlap_rejection():
+    class EmptyTrace:
+        spans = ()
+
+        def recoveries(self):
+            return []
+
+        def kernels(self):
+            return []
+
+    ops = [EngineOp("sched", 10, 20), EngineOp("prefill", 30, 40)]
+    timeline = component_timeline(ops, EmptyTrace(), 50)
+    assert timeline == [
+        (0, 10, "other"),
+        (10, 20, "D"),
+        (20, 30, "other"),
+        (30, 40, "Q"),
+        (40, 50, "other"),
+    ]
+    with pytest.raises(TelemetryError, match="overlapping"):
+        component_timeline(
+            [EngineOp("sched", 0, 20), EngineOp("sched", 10, 30)],
+            EmptyTrace(), 30,
+        )
+
+
+def test_unknown_op_kind_rejected():
+    tel = ServeTelemetry()
+    tel.bind_clock(lambda: 0)
+    with pytest.raises(TelemetryError, match="unknown engine op"):
+        with tel.op("warp_drive"):
+            pass
+
+
+# -- the tentpole invariants ----------------------------------------------
+
+
+def test_zero_perturbation_verdict_bytes(cc_run):
+    _, with_tel = cc_run
+    _, without = run_scenario(
+        QUICK, SystemConfig.confidential(), telemetry=False
+    )
+    assert verdict_json(with_tel) == verdict_json(without)
+    assert without.attributions is None
+    assert with_tel.attributions
+
+
+def test_attribution_conserves_exactly(cc_run):
+    _, result = cc_run
+    for a in result.attributions:
+        assert sum(a.components.values()) == a.e2e_ns
+        if a.ttft_ns is not None:
+            assert sum(a.ttft_components.values()) == a.ttft_ns
+            # The TTFT window is a prefix of the request: no component
+            # can have more TTFT-window time than total time.
+            for component, value in a.ttft_components.items():
+                assert value <= a.components.get(component, 0)
+        assert set(a.components) <= set(ATTRIBUTION_COMPONENTS)
+
+
+def test_attribution_conserves_under_paging_and_faults():
+    for spec, config in (
+        (PAGING, SystemConfig.confidential()),
+        (FAULTY, _faulty_config()),
+    ):
+        _, result = run_scenario(spec, config, telemetry=True)
+        assert result.attributions
+        statuses = {a.status for a in result.attributions}
+        for a in result.attributions:
+            assert sum(a.components.values()) == a.e2e_ns
+        if spec is PAGING:
+            assert any(a.preemptions for a in result.attributions)
+        else:
+            # fault pressure must produce non-completed terminals
+            assert statuses - {"completed"}
+
+
+def test_forensics_percentiles_reproduce_verdict(cc_run):
+    _, result = cc_run
+    recomputed = latency_percentiles(result.attributions)
+    for metric in ("ttft_ms", "tpot_ms", "e2e_ms"):
+        for key in ("p50", "p95", "p99"):
+            assert recomputed[metric][key] == result.report[metric][key]
+
+
+def test_p99_pick_is_the_reported_percentile(cc_run):
+    _, result = cc_run
+    p99 = pick_percentile_request(result.attributions, 99)
+    assert units.to_ms(p99.ttft_ns) == result.report["ttft_ms"]["p99"]
+
+
+def test_tail_report_shape_and_order(cc_run):
+    _, result = cc_run
+    report = tail_report(result.attributions, top=3)
+    slowest = report["slowest"]
+    assert len(slowest) == 3
+    e2es = [r["e2e_ns"] for r in slowest]
+    assert e2es == sorted(e2es, reverse=True)
+    assert report["ttft_p99"]["ttft_ms"] == result.report["ttft_ms"]["p99"]
+    # every record's flattened components conserve too
+    for record in slowest:
+        total = sum(record[f"c_{c}"] for c in ATTRIBUTION_COMPONENTS)
+        assert total == record["e2e_ns"]
+
+
+def test_tenant_rollup_partitions_requests(cc_run):
+    _, result = cc_run
+    rollup = tenant_rollup(result.attributions)
+    assert sum(r["requests"] for r in rollup.values()) == len(
+        result.attributions
+    )
+    for tenant, row in rollup.items():
+        mine = [a for a in result.attributions if a.tenant == tenant]
+        assert row["completed"] == sum(
+            1 for a in mine if a.status == "completed"
+        )
+        assert sum(row["components_ns"].values()) == sum(
+            a.e2e_ns for a in mine
+        )
+
+
+def test_forensics_diff_sums_exactly(base_run, cc_run):
+    _, base = base_run
+    _, cc = cc_run
+    diff = forensics_diff(base.attributions, cc.attributions)
+    assert sum(diff["components_delta_ns"].values()) == diff["delta_ns"]
+    assert diff["dominant"] in ATTRIBUTION_COMPONENTS
+
+
+def test_engine_ops_tag_owning_requests(cc_run):
+    trace, result = cc_run
+    op_spans = [s for s in trace.spans if s.layer == "serve.op"]
+    assert op_spans
+    kinds = {s.name for s in op_spans}
+    assert {"prompt_upload", "prefill", "decode", "token_d2h",
+            "sched"} <= kinds
+    completed = {
+        str(a.req_id)
+        for a in result.attributions
+        if a.status == "completed"
+    }
+    tagged = set()
+    for span in op_spans:
+        if span.attrs.get("reqs"):
+            tagged |= set(span.attrs["reqs"].split(","))
+    # every completed request shows up as an owner of some engine op
+    assert completed <= tagged
+
+
+def test_per_request_spans_and_chrome_tracks(cc_run):
+    trace, result = cc_run
+    roots = [
+        s for s in trace.spans
+        if s.layer == "serve.req" and s.name == "request"
+    ]
+    assert len(roots) == len(result.attributions)
+    payload = json.loads(trace.to_chrome_trace())
+    names = {
+        row["args"]["name"]
+        for row in payload["traceEvents"]
+        if row.get("ph") == "M" and row["name"] == "thread_name"
+    }
+    for a in result.attributions:
+        assert f"req:{a.req_id}" in names
+    # one tid per request, all distinct
+    req_tids = {
+        row["tid"]
+        for row in payload["traceEvents"]
+        if row.get("ph") == "M" and row["name"] == "thread_name"
+        and row["args"]["name"].startswith("req:")
+    }
+    assert len(req_tids) == len(result.attributions)
+
+
+def test_trace_roundtrip_preserves_attributions(cc_run):
+    trace, result = cc_run
+    text = trace.to_chrome_trace()
+    clone = from_chrome_trace(text)
+    assert clone.to_chrome_trace() == text
+    reimported = summary.serve_attributions(clone)
+    assert reimported == sorted(
+        result.attributions, key=lambda a: a.req_id
+    )
+
+
+def test_exports_byte_deterministic(cc_run):
+    _, first = cc_run
+    _, second = run_scenario(
+        QUICK, SystemConfig.confidential(), telemetry=True
+    )
+    assert requests_jsonl(first.attributions) == requests_jsonl(
+        second.attributions
+    )
+    assert requests_csv(first.attributions) == requests_csv(
+        second.attributions
+    )
+    lines = requests_jsonl(first.attributions).strip().splitlines()
+    assert len(lines) == len(first.attributions)
+    record = json.loads(lines[0])
+    assert record["e2e_ns"] == sum(
+        record[f"c_{c}"] for c in ATTRIBUTION_COMPONENTS
+    )
+    header = requests_csv(first.attributions).splitlines()[0]
+    assert header.split(",")[0] == "req_id"
+
+
+def test_queue_attribution_never_admitted():
+    # Aggressive pushback: some requests are shed before admission —
+    # their whole lifetime must be queue time and nothing else.
+    _, result = run_scenario(
+        FAULTY, _faulty_config(), telemetry=True
+    )
+    shed = [a for a in result.attributions if a.admitted_ns is None]
+    assert shed, "expected never-admitted requests under pushback"
+    for a in shed:
+        assert a.first_token_ns is None
+        assert set(a.components) <= {"queue"}
+        assert a.components.get("queue", 0) == a.e2e_ns
