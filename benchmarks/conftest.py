@@ -67,6 +67,15 @@ def figure_runner(benchmark):
                 result = exec_runner.payload_to_result(handle.read())
             if outcome.status == "hit":
                 print(f"\n[cache hit] {cell}")
+            if outcome.sim_ns:
+                # Final simulator clock vs wall: the harness-level
+                # throughput statistic the perf baseline records.
+                rate = outcome.sim_ns / (outcome.wall_ns / 1e9) if outcome.wall_ns else 0.0
+                print(
+                    f"\n[sim] {cell}: {outcome.sim_ns / 1e6:.1f} ms simulated "
+                    f"in {outcome.wall_ns / 1e6:.1f} ms wall "
+                    f"({rate / 1e9:.1f} sim-s/wall-s)"
+                )
         print()
         print(result.to_text())
         print(f"[saved] {path}")

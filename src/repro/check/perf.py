@@ -41,9 +41,14 @@ from . import EXIT_OK, EXIT_PERF_REGRESSION
 BASELINE_VERSION = 1
 DEFAULT_BAND = 0.75
 DEFAULT_REPEATS = 3
+#: Absolute slack added to every wall budget: below this scale a
+#: relative band gates scheduler jitter, not code.
+DEFAULT_NOISE_FLOOR_NS = 50_000_000
 
-#: Cells the --quick smoke times (a cross-section of the fast grid).
-QUICK_CELLS = ("table1", "fig04a", "fig04b", "fig05", "fig07")
+#: Cells the --quick smoke times (a cross-section of the fast grid
+#: plus the storm-heavy serving cell, which exercises the bucketed
+#: event-kernel path the figure cells barely touch).
+QUICK_CELLS = ("table1", "fig04a", "fig04b", "fig05", "fig07", "ext_serving")
 
 #: Simulator benches: deterministic end-to-end app runs.  Keys are the
 #: baseline entry names; values are (app, cc) resolved through the
@@ -64,7 +69,10 @@ def default_baseline_path() -> str:
 def perf_cells(quick: bool = False) -> List[str]:
     if quick:
         return list(QUICK_CELLS)
-    return exec_runner.default_cells(include_slow=False)
+    cells = exec_runner.default_cells(include_slow=False)
+    if "ext_serving" not in cells:  # slow cell, but perf-critical
+        cells.append("ext_serving")
+    return cells
 
 
 @dataclass
@@ -73,7 +81,10 @@ class PerfEntry:
 
     name: str
     wall_ns: int
-    sim_ns: int = 0  # 0 for grid cells (no single simulated span)
+    # Final simulator clock: trace span for sim benches; for grid cells
+    # the summed final clock of every Simulator the cell ran (0 only
+    # for purely analytic cells such as table1).
+    sim_ns: int = 0
 
     @property
     def sim_ns_per_wall_s(self) -> float:
@@ -94,7 +105,9 @@ def measure(
         if not payload["ok"]:
             raise RuntimeError(f"perf bench {cell_id} failed: {payload['error']}")
         entries[f"cell:{cell_id}"] = PerfEntry(
-            name=f"cell:{cell_id}", wall_ns=payload["wall_ns_min"]
+            name=f"cell:{cell_id}",
+            wall_ns=payload["wall_ns_min"],
+            sim_ns=payload.get("sim_ns", 0),
         )
     benches = SIM_BENCHES if sim_benches is None else sim_benches
     for name, (app_name, cc) in benches.items():
@@ -141,6 +154,53 @@ def save_baseline(
     return path
 
 
+def validate_baseline(baseline: dict, path: str = "") -> None:
+    """Schema gate for a loaded baseline.
+
+    Guards against the zeroed-``sim_ns`` accounting bug ever being
+    recorded again: every entry needs a positive ``wall_ns``, every
+    ``sim:*`` bench a positive ``sim_ns``, a ``sim_ns_per_wall_s``
+    consistent with the pair — and a baseline whose *cell* entries are
+    all zero-``sim_ns`` (the harness not plumbing the simulator clock
+    at all) is rejected outright.  Individual analytic cells (e.g.
+    ``table1``, which never spins up a simulator) may be zero.
+    """
+    where = path or "<baseline>"
+    entries = baseline.get("entries")
+    if not isinstance(entries, dict) or not entries:
+        raise ValueError(f"{where}: baseline has no entries")
+    cell_sim_ns: List[int] = []
+    for name, entry in entries.items():
+        wall_ns = entry.get("wall_ns")
+        sim_ns = entry.get("sim_ns")
+        rate = entry.get("sim_ns_per_wall_s")
+        if not isinstance(wall_ns, int) or wall_ns <= 0:
+            raise ValueError(
+                f"{where}: entry {name!r} has invalid wall_ns={wall_ns!r}"
+            )
+        if not isinstance(sim_ns, int) or sim_ns < 0:
+            raise ValueError(
+                f"{where}: entry {name!r} has invalid sim_ns={sim_ns!r}"
+            )
+        if not isinstance(rate, (int, float)) or (sim_ns > 0) != (rate > 0):
+            raise ValueError(
+                f"{where}: entry {name!r} has sim_ns_per_wall_s={rate!r} "
+                f"inconsistent with sim_ns={sim_ns}"
+            )
+        if name.startswith("sim:") and sim_ns == 0:
+            raise ValueError(
+                f"{where}: sim bench {name!r} recorded sim_ns=0 "
+                f"(zeroed accounting)"
+            )
+        if name.startswith("cell:"):
+            cell_sim_ns.append(sim_ns)
+    if cell_sim_ns and not any(cell_sim_ns):
+        raise ValueError(
+            f"{where}: every cell entry has sim_ns=0 — the harness is "
+            f"not recording the simulator clock (zeroed accounting bug)"
+        )
+
+
 def load_baseline(path: str) -> dict:
     with open(path) as handle:
         baseline = json.load(handle)
@@ -150,6 +210,7 @@ def load_baseline(path: str) -> dict:
         or not isinstance(baseline.get("entries"), dict)
     ):
         raise ValueError(f"{path}: not a v{BASELINE_VERSION} perf baseline")
+    validate_baseline(baseline, path)
     return baseline
 
 
@@ -241,8 +302,16 @@ def compare(
     entries: Dict[str, PerfEntry],
     band: float = DEFAULT_BAND,
     baseline_path: str = "",
+    noise_floor_ns: int = DEFAULT_NOISE_FLOOR_NS,
 ) -> PerfReport:
-    """Gate current timings against a loaded baseline."""
+    """Gate current timings against a loaded baseline.
+
+    An entry regresses when it exceeds ``baseline * (1 + band) +
+    noise_floor_ns``: the relative band owns the cells that run long
+    enough for a ratio to mean anything, while the absolute floor keeps
+    sub-millisecond benches — where scheduler jitter alone is tens of
+    percent — from tripping a tight band on noise.
+    """
     report = PerfReport(band=band, baseline_path=baseline_path)
     recorded = baseline["entries"]
     if baseline.get("config_hash") not in ("", None, fingerprint.grid_config_hash()):
@@ -260,10 +329,10 @@ def compare(
         base_wall = int(recorded[name]["wall_ns"])
         status = "ok"
         note = ""
-        if entry.wall_ns > base_wall * (1.0 + band):
+        if entry.wall_ns > base_wall * (1.0 + band) + noise_floor_ns:
             status = "regression"
             note = f"exceeds +{100 * band:.0f}% budget"
-        elif entry.wall_ns * (1.0 + band) < base_wall:
+        elif entry.wall_ns * (1.0 + band) + noise_floor_ns < base_wall:
             status = "improved"
             note = "beyond band; consider --update"
         base_sim = int(recorded[name].get("sim_ns", 0))

@@ -32,7 +32,9 @@ class Machine:
         self.config.validate()
         self.sim = Simulator()
         self.trace = Trace(label=label, observability=observe)
-        self.trace.bind_clock(lambda: self.sim.now)
+        # Bind the raw clock slot, skipping the `now` property dispatch
+        # — this closure runs for every span/metric sample.
+        self.trace.bind_clock(lambda sim=self.sim: sim._now)
         self.guest = GuestContext(self.sim, self.config, trace=self.trace)
         self.gpu = GPU(self.sim, self.config, self.guest, self.trace)
         self.runtime = CudaRuntime(

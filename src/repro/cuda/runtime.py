@@ -108,12 +108,19 @@ class CudaRuntime:
         self.guest = guest
         self.gpu = gpu
         self.trace = trace
+        # Immutable-config fast paths for the per-launch hot loop.
+        self._cc = config.cc_on
+        self._gpu_spec = config.gpu
         self._stream_ids = itertools.count(0)
         self.default_stream = Stream(next(self._stream_ids))
         self._streams: List[Stream] = [self.default_stream]
         self._seen_kernels: set = set()
         self._hypercall_accum = 0.0
         self._last_launch_end: Optional[int] = None
+        # Lazily cached on first launch, not per launch (the registry
+        # hands back the same object for a given name; resolving on use
+        # keeps its register-on-lookup semantics observable).
+        self._launch_depth_gauge = None
         # Functional transfer crypto (independent of the timing model).
         self._gcm = AESGCM(b"hcc-session-key!")  # 16-byte session key
         self._iv_counter = itertools.count(1)
@@ -507,16 +514,19 @@ class CudaRuntime:
         launch_cfg = self.config.launch
         # Validate the kernel spec eagerly so bad parameters surface in
         # the caller, not later inside a detached GPU process.
-        kernel.base_duration_ns(self.config.gpu, self.config.cc_on)
+        kernel.base_duration_ns(self._gpu_spec, self._cc)
         # Application-side loop bookkeeping between launches: lands in
         # the LQT gap, not in KLO.
         yield from self.guest.cpu_work(launch_cfg.inter_launch_cpu_ns)
         # Launch-queue credit (backpressure when the queue is full).
         credit = self.gpu.launch_credits.request()
         yield credit
-        self.guest.metrics.gauge("launch.queue_depth").set(
-            self.gpu.launch_credits.in_use
-        )
+        depth = self._launch_depth_gauge
+        if depth is None:
+            depth = self._launch_depth_gauge = self.guest.metrics.gauge(
+                "launch.queue_depth"
+            )
+        depth.set(self.gpu.launch_credits.in_use)
         try:
             start = self.sim.now
             lqt = (
@@ -542,7 +552,7 @@ class CudaRuntime:
                         )
                         with self.guest.stacks.frame("nvidia.ko::rm_ioctl"):
                             yield from self.guest.cpu_work(base)
-                            if self.config.cc_on:
+                            if self._cc:
                                 yield from self._cc_launch_extra()
         except BaseException:
             # Driver-side failure (e.g. a fatal hypercall fault) before

@@ -25,6 +25,7 @@ cached.
 from __future__ import annotations
 
 import concurrent.futures
+import gc
 import hashlib
 import importlib
 import multiprocessing
@@ -37,6 +38,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..figures.common import FigureResult, RunConfig
 from ..obs import MetricsRegistry
+from ..sim import SimTimeCollector
 from . import fingerprint
 from .cache import CacheStats, ResultCache, default_cache_dir, entry_key
 
@@ -192,13 +194,28 @@ def _work_item(spec: CellSpec) -> WorkItem:
 def execute_cell(item: WorkItem) -> Dict[str, Any]:
     """Run one grid cell; always returns (never raises) so a failing
     cell cannot take the pool down with it.  Top-level so it pickles
-    into worker processes."""
+    into worker processes.
+
+    The cell runs with the cyclic GC paused (the DES kernel allocates
+    events in bursts that trigger collection sweeps mid-simulation but
+    creates no cycles the refcounter can't reclaim) and under a
+    :class:`~repro.sim.SimTimeCollector`, so the payload carries the
+    final simulator clock (``sim_ns``) alongside wall time — the pair
+    behind the ``sim_ns_per_wall_s`` throughput metric in the perf
+    baseline.
+    """
     cell_id, entry_module, variant, params = item
     random.seed(_cell_seed(cell_id))  # isolate ambient-RNG consumers
     started = time.perf_counter_ns()
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
     try:
         module = importlib.import_module(entry_module)
-        result = module.run(RunConfig(variant=variant, params=dict(params)))
+        with SimTimeCollector() as sim_time:
+            result = module.run(
+                RunConfig(variant=variant, params=dict(params))
+            )
         return {
             "cell": cell_id,
             "ok": True,
@@ -206,6 +223,7 @@ def execute_cell(item: WorkItem) -> Dict[str, Any]:
             "payload_json": result.to_json(),
             "payload_text": result.to_text(),
             "wall_ns": time.perf_counter_ns() - started,
+            "sim_ns": sim_time.total_sim_ns,
         }
     except BaseException as exc:  # noqa: BLE001 — isolation boundary
         return {
@@ -214,7 +232,11 @@ def execute_cell(item: WorkItem) -> Dict[str, Any]:
             "error": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(),
             "wall_ns": time.perf_counter_ns() - started,
+            "sim_ns": 0,
         }
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
 
 def _pool_context():
@@ -239,6 +261,7 @@ class CellOutcome:
     figure_id: str = ""
     status: str = "run"  # "hit" | "run" | "failed"
     wall_ns: int = 0
+    sim_ns: int = 0  # final simulator clock (0 for hits/failures)
     json_path: str = ""
     error: str = ""
     traceback: str = ""
@@ -355,6 +378,7 @@ def bench_cell(
     spec = grid[cell_id]
     histogram = metrics.histogram(f"exec.bench.{cell_id}.wall_ns")
     times: List[int] = []
+    sim_ns = 0
     for _ in range(max(1, repeats)):
         payload = execute_cell(_work_item(spec))
         if not payload["ok"]:
@@ -365,11 +389,15 @@ def bench_cell(
             }
         histogram.observe(payload["wall_ns"])
         times.append(payload["wall_ns"])
+        # Deterministic cells advance the same simulated time every
+        # repeat, so the last observation is the cell's sim_ns.
+        sim_ns = payload.get("sim_ns", 0)
     return {
         "cell": cell_id,
         "ok": True,
         "wall_ns_min": min(times),
         "wall_ns_all": times,
+        "sim_ns": sim_ns,
     }
 
 
@@ -433,6 +461,7 @@ def run_grid(
                 figure_id=entry["figure_id"],
                 status="hit",
                 wall_ns=0,
+                sim_ns=entry.get("sim_ns", 0),
                 json_path=json_path,
             )
             metrics.counter("exec.cache.hits").inc()
@@ -467,6 +496,7 @@ def run_grid(
                     "payload_json": payload["payload_json"],
                     "payload_text": payload["payload_text"],
                     "wall_ns": payload["wall_ns"],
+                    "sim_ns": payload.get("sim_ns", 0),
                 },
             )
         outcomes[spec.cell_id] = CellOutcome(
@@ -474,6 +504,7 @@ def run_grid(
             figure_id=payload["figure_id"],
             status="run",
             wall_ns=payload["wall_ns"],
+            sim_ns=payload.get("sim_ns", 0),
             json_path=json_path,
         )
         metrics.counter("exec.cells.ok").inc()

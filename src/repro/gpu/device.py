@@ -28,7 +28,7 @@ from .kernels import KernelSpec
 from .uvm import UVMManager
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelCommand:
     kernel: KernelSpec
     stream: int
@@ -45,7 +45,7 @@ class KernelCommand:
     fetch_free: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CopyCommand:
     copy_kind: CopyKind
     memory: MemoryKind
@@ -56,6 +56,9 @@ class CopyCommand:
     done: Event
     predecessor: Optional[Event] = None
     managed_label: bool = False  # Nsight labels CC pinned copies "Managed"
+    # Graph-chained commands after the first skip the per-command fetch
+    # (mirrors KernelCommand; copies are never graph-chained today).
+    fetch_free: bool = False
 
 
 class GPU:
@@ -87,6 +90,16 @@ class GPU:
         )
         self.uvm = UVMManager(sim, config, guest)
         self.commands_processed = 0
+        # Config is immutable for the GPU's lifetime: precompute the
+        # per-command fetch latency.  Hot instruments are cached lazily
+        # on first use so the registry's register-on-lookup semantics
+        # (the set of exported metric names) are unchanged.
+        self._fetch_ns = self._fetch_latency_ns()
+        self._cc = config.cc_on
+        self._gpu_spec = config.gpu
+        self._compute_inflight_gauge = None
+        self._copy_inflight_gauge = None
+        self._launch_depth_gauge = None
         sim.process(self._command_processor())
 
     # -- driver-facing API ---------------------------------------------------
@@ -111,8 +124,8 @@ class GPU:
         """Serial fetch/dispatch loop (the channel engine)."""
         while True:
             command = yield self.channel.get()
-            if not getattr(command, "fetch_free", False):
-                yield self.sim.timeout(self._fetch_latency_ns())
+            if not command.fetch_free:
+                yield self.sim.timeout(self._fetch_ns)
             self.commands_processed += 1
             if isinstance(command, KernelCommand):
                 self.sim.process(self._run_kernel(command))
@@ -135,9 +148,12 @@ class GPU:
         slot = self.compute.request()
         yield slot
         scope = f"gpu:s{command.stream}"
-        self.guest.metrics.gauge("gpu.compute_inflight").set(
-            self.compute.in_use
-        )
+        inflight = self._compute_inflight_gauge
+        if inflight is None:
+            inflight = self._compute_inflight_gauge = self.guest.metrics.gauge(
+                "gpu.compute_inflight"
+            )
+        inflight.set(self.compute.in_use)
         try:
             exec_start = self.sim.now
             kqt = exec_start - command.enqueued_ns
@@ -157,9 +173,7 @@ class GPU:
                     alloc = self.uvm.allocation(handle)
                     faulted_pages += migrated // max(alloc.chunk_bytes, 1)
                 yield self.sim.timeout(
-                    command.kernel.base_duration_ns(
-                        self.config.gpu, self.config.cc_on
-                    )
+                    command.kernel.base_duration_ns(self._gpu_spec, self._cc)
                 )
             self.trace.add(
                 kernel_event(
@@ -174,14 +188,15 @@ class GPU:
             )
         finally:
             self.compute.release(slot)
-            self.guest.metrics.gauge("gpu.compute_inflight").set(
-                self.compute.in_use
-            )
+            inflight.set(self.compute.in_use)
         if command.credit is not None:
             self.launch_credits.release(command.credit)
-            self.guest.metrics.gauge("launch.queue_depth").set(
-                self.launch_credits.in_use
-            )
+            depth = self._launch_depth_gauge
+            if depth is None:
+                depth = self._launch_depth_gauge = self.guest.metrics.gauge(
+                    "launch.queue_depth"
+                )
+            depth.set(self.launch_credits.in_use)
         command.done.succeed()
 
     def _run_copy(self, command: CopyCommand) -> Generator:
@@ -194,7 +209,11 @@ class GPU:
         engine = self._copy_engines[command.copy_kind].request()
         yield engine
         scope = f"gpu:s{command.stream}"
-        inflight = self.guest.metrics.gauge("gpu.copy_inflight")
+        inflight = self._copy_inflight_gauge
+        if inflight is None:
+            inflight = self._copy_inflight_gauge = self.guest.metrics.gauge(
+                "gpu.copy_inflight"
+            )
         inflight.set(
             sum(e.in_use for e in self._copy_engines.values())
         )

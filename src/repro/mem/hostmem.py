@@ -111,8 +111,18 @@ class HostMemory:
         return self.heap.alloc(size)
 
     def free(self, address: int) -> int:
-        for page in self._page_range(address, self.heap.size_of(address)):
-            self._page_states.pop(page, None)
+        # A multi-GB buffer spans ~10^6 pages but typically only a few
+        # were ever touched (page states are lazy): walk whichever of
+        # the page span / touched-page set is smaller.
+        pages = self._page_range(address, self.heap.size_of(address))
+        states = self._page_states
+        if len(states) < len(pages):
+            first, last = pages[0], pages[-1]
+            for page in [p for p in states if first <= p <= last]:
+                del states[page]
+        else:
+            for page in pages:
+                states.pop(page, None)
         self._contents.pop(address, None)
         return self.heap.free(address)
 

@@ -27,7 +27,6 @@ perturb the model (see ``benchmarks/test_extensions.py``).
 from __future__ import annotations
 
 import itertools
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -53,7 +52,7 @@ def layer_sort_key(layer: str) -> Tuple[int, str]:
         return (len(CANONICAL_LAYERS), layer)
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed region with parent/child causality."""
 
@@ -81,6 +80,72 @@ def _merge(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
     return merged
 
 
+class _NullSpanContext:
+    """Shared no-op context for disabled recorders (no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Class-based context manager for :meth:`SpanRecorder.span`.
+
+    ``span()`` sits on the per-launch hot path (~100k entries per
+    figure cell); a plain object with ``__enter__``/``__exit__`` avoids
+    the generator frame + ``contextlib`` dispatch per call.
+    """
+
+    __slots__ = ("_recorder", "_name", "_layer", "_scope", "_attrs",
+                 "_span", "_stack")
+
+    def __init__(
+        self,
+        recorder: "SpanRecorder",
+        name: str,
+        layer: str,
+        scope: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._layer = layer
+        self._scope = scope
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        recorder = self._recorder
+        stack = recorder._open.get(self._scope)
+        if stack is None:
+            stack = recorder._open[self._scope] = []
+        span = Span(
+            span_id=next(recorder._ids),
+            parent_id=stack[-1].span_id if stack else None,
+            name=self._name,
+            layer=self._layer,
+            start_ns=recorder._clock(),
+            attrs=self._attrs,
+        )
+        recorder.spans.append(span)
+        stack.append(span)
+        self._span = span
+        self._stack = stack
+        return span
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._stack.pop()
+        span = self._span
+        span.duration_ns = self._recorder._clock() - span.start_ns
+        return False
+
+
 class SpanRecorder:
     """Collects spans for one run; attached to every :class:`Trace`."""
 
@@ -106,36 +171,17 @@ class SpanRecorder:
 
     # -- recording ---------------------------------------------------------
 
-    @contextmanager
-    def span(
-        self, name: str, layer: str, scope: str = "cpu", **attrs: Any
-    ) -> Iterator[Optional[Span]]:
+    def span(self, name: str, layer: str, scope: str = "cpu", **attrs: Any):
         """Open a span for the duration of a with-block.
 
         Safe around generator code: the span stays open across
         simulation yields and closes (capturing the end time) when the
-        block exits, including on exceptions.
+        block exits, including on exceptions.  Returns a reusable no-op
+        context (entering yields ``None``) when recording is disabled.
         """
         if not self.enabled or self._clock is None:
-            yield None
-            return
-        stack = self._open.setdefault(scope, [])
-        parent = stack[-1].span_id if stack else None
-        span = Span(
-            span_id=next(self._ids),
-            parent_id=parent,
-            name=name,
-            layer=layer,
-            start_ns=self._clock(),
-            attrs=dict(attrs),
-        )
-        self.spans.append(span)
-        stack.append(span)
-        try:
-            yield span
-        finally:
-            stack.pop()
-            span.duration_ns = self._clock() - span.start_ns
+            return _NULL_SPAN_CONTEXT
+        return _SpanContext(self, name, layer, scope, attrs)
 
     def record(
         self,
@@ -169,7 +215,7 @@ class SpanRecorder:
             layer=layer,
             start_ns=start_ns,
             duration_ns=duration_ns,
-            attrs=dict(attrs),
+            attrs=attrs,
         )
         self.spans.append(span)
         return span

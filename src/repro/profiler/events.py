@@ -28,7 +28,7 @@ class EventKind(Enum):
     RECOVERY = "recovery"
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One timed activity on the CPU or GPU timeline."""
 

@@ -548,7 +548,13 @@ class ServingEngine:
                     attempt += 1
 
         def resident_ids():
-            """Requests currently paying engine costs (telemetry tags)."""
+            """Requests currently paying engine costs (telemetry tags).
+
+            With telemetry off the tags are discarded unseen, so skip
+            the per-iteration set union + sort entirely.
+            """
+            if not tel.enabled:
+                return ()
             return tuple(sorted(
                 set(sched.running) | set(sched.warming) | set(sched.evicted)
             ))

@@ -52,12 +52,10 @@ JSONL/CSV exports — feeds ``repro serve report`` and the
 from __future__ import annotations
 
 from bisect import bisect_right
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
-    Iterator,
     List,
     Optional,
     Sequence,
@@ -192,26 +190,60 @@ class ServeTelemetry:
         if self.enabled:
             self.admitted_ns.setdefault(req_id, now)
 
-    @contextmanager
-    def op(self, kind: str, req_ids: Sequence[int] = ()) -> Iterator[None]:
+    def op(self, kind: str, req_ids: Sequence[int] = ()):
         """Tag one cost-paying engine operation with its owners.
 
         Safe around generator code (the ``yield from`` of a runtime
         call): the interval closes when the block exits, exceptions
         included, so a fatal fault still leaves a closed interval.
+        Telemetry-off runs get a shared no-op context (the decode loop
+        enters one per step, so this path must not allocate).
         """
         if not self.enabled or self._clock is None:
-            yield
-            return
+            return _NULL_OP_CONTEXT
         if kind not in OP_BASE_COMPONENT:
             raise TelemetryError(f"unknown engine op kind {kind!r}")
-        start = self._clock()
-        try:
-            yield
-        finally:
-            self.ops.append(
-                EngineOp(kind, start, self._clock(), tuple(req_ids))
-            )
+        return _OpContext(self, kind, req_ids)
+
+
+class _NullOpContext:
+    """Shared no-op context for telemetry-off runs."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_OP_CONTEXT = _NullOpContext()
+
+
+class _OpContext:
+    """Records one :class:`EngineOp` interval on block exit."""
+
+    __slots__ = ("_tel", "_kind", "_req_ids", "_start")
+
+    def __init__(
+        self, tel: ServeTelemetry, kind: str, req_ids: Sequence[int]
+    ) -> None:
+        self._tel = tel
+        self._kind = kind
+        self._req_ids = req_ids
+
+    def __enter__(self) -> None:
+        self._start = self._tel._clock()
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        tel = self._tel
+        tel.ops.append(
+            EngineOp(self._kind, self._start, tel._clock(),
+                     tuple(self._req_ids))
+        )
+        return False
 
 
 #: Shared inert instance for telemetry-off runs.

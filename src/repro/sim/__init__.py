@@ -12,6 +12,7 @@ from .engine import (
     Event,
     Interrupt,
     Process,
+    SimTimeCollector,
     SimulationError,
     Simulator,
     Timeout,
@@ -26,6 +27,7 @@ __all__ = [
     "Process",
     "Request",
     "Resource",
+    "SimTimeCollector",
     "SimulationError",
     "Simulator",
     "Store",

@@ -7,17 +7,47 @@ processes, resource grants) and are resumed when those events trigger.
 Design constraints driving this implementation:
 
 * **Determinism.** Events scheduled for the same timestamp fire in
-  scheduling order (a monotonically increasing sequence number breaks
-  ties).  Time is integer nanoseconds (see :mod:`repro.units`).
+  scheduling order.  Time is integer nanoseconds (see
+  :mod:`repro.units`).
 * **No external dependencies.** The engine is self-contained so that
   the rest of the simulator is portable and easily testable.
+* **Throughput.** The workloads this kernel drives (decode-step storms
+  in :mod:`repro.serve`, launch trains in Fig. 7) are dominated by
+  homogeneous event storms: thousands of events landing on a handful
+  of distinct timestamps.  The scheduler is therefore a *calendar
+  queue*: a heap of distinct timestamps indexing per-timestamp FIFO
+  buckets.  Scheduling into an existing timestamp is a plain list
+  append (no heap operation, no tuple allocation), and draining a
+  same-timestamp storm is a linear walk of one bucket.  Because
+  delays are validated non-negative, no bucket earlier than the one
+  being drained can ever appear, so bucket order + append order
+  reproduces exactly the ``(time, seq)`` order of a conventional
+  event heap — the determinism contract is structural, not tie-broken.
+
+Every event class declares ``__slots__`` and callbacks are stored in a
+single inline slot (``_cb1``) with a rarely-used overflow list
+(``_cbs``): the common case — a bare timeout with one waiting process,
+or none at all — allocates no callback list.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+# Bound locally: the drain loops below run once per event, so even the
+# module-attribute lookup on heapq is worth shaving.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+# Internal event states (ints compare faster than strings; the public
+# string constants on Event are kept for introspection/debugging).
+_PENDING = 0
+_TRIGGERED = 1
+_PROCESSED = 2
+
+_STATE_NAMES = {_PENDING: "pending", _TRIGGERED: "triggered",
+                _PROCESSED: "processed"}
 
 
 class SimulationError(RuntimeError):
@@ -40,26 +70,29 @@ class Event:
     once when the scheduler processes it.
     """
 
+    __slots__ = ("sim", "_value", "_ok", "_state", "_cb1", "_cbs")
+
     PENDING = "pending"
     TRIGGERED = "triggered"
     PROCESSED = "processed"
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok = True
-        self._state = Event.PENDING
+        self._state = _PENDING
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[List[Callable[["Event"], None]]] = None
 
     # -- state ---------------------------------------------------------
 
     @property
     def triggered(self) -> bool:
-        return self._state != Event.PENDING
+        return self._state != _PENDING
 
     @property
     def processed(self) -> bool:
-        return self._state == Event.PROCESSED
+        return self._state == _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -67,47 +100,91 @@ class Event:
 
     @property
     def value(self) -> Any:
-        if self._state == Event.PENDING:
+        if self._state == _PENDING:
             raise SimulationError("event value not yet available")
         return self._value
 
     # -- triggering ------------------------------------------------------
 
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
-        """Mark the event successful, scheduling callbacks after ``delay``."""
-        if self._state != Event.PENDING:
+        """Mark the event successful, scheduling callbacks after ``delay``.
+
+        ``delay`` must be non-negative: validation happens *before* the
+        event state changes, so a rejected call leaves the event
+        pending and usable (it can still be succeeded or failed).
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"succeed() delay must be >= 0, got {delay} "
+                "(cannot schedule callbacks into the past)"
+            )
+        if self._state != _PENDING:
             raise SimulationError("event already triggered")
         self._value = value
         self._ok = True
-        self._state = Event.TRIGGERED
+        self._state = _TRIGGERED
         self.sim._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
         """Mark the event failed; waiting processes will see the exception."""
-        if self._state != Event.PENDING:
+        if delay < 0:
+            raise SimulationError(
+                f"fail() delay must be >= 0, got {delay} "
+                "(cannot schedule callbacks into the past)"
+            )
+        if self._state != _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._value = exception
         self._ok = False
-        self._state = Event.TRIGGERED
+        self._state = _TRIGGERED
         self.sim._schedule(self, delay)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self.callbacks is None:
+        if self._state == _PROCESSED:
             # Already processed: run immediately (same tick semantics).
             callback(self)
+        elif self._cb1 is None:
+            self._cb1 = callback
+        elif self._cbs is None:
+            self._cbs = [callback]
         else:
-            self.callbacks.append(callback)
+            self._cbs.append(callback)
+
+    def _remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Detach a callback if present (no-op otherwise).
+
+        Maintains the invariant that ``_cb1`` is filled before ``_cbs``
+        so callback order is preserved across removals.
+        """
+        if self._cb1 is callback:
+            cbs = self._cbs
+            if cbs:
+                self._cb1 = cbs.pop(0)
+                if not cbs:
+                    self._cbs = None
+            else:
+                self._cb1 = None
+        elif self._cbs is not None:
+            try:
+                self._cbs.remove(callback)
+            except ValueError:
+                pass
 
     def _process(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
-        self._state = Event.PROCESSED
-        if callbacks:
-            for callback in callbacks:
-                callback(self)
+        cb1 = self._cb1
+        cbs = self._cbs
+        self._cb1 = None
+        self._cbs = None
+        self._state = _PROCESSED
+        if cb1 is not None:
+            cb1(self)
+            if cbs is not None:
+                for callback in cbs:
+                    callback(self)
         elif not self._ok and isinstance(self, Process):
             # A process died with nobody waiting on it: surface the
             # failure instead of losing it (detached GPU/engine
@@ -115,19 +192,29 @@ class Event:
             raise self._value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<{type(self).__name__} state={self._state}>"
+        return f"<{type(self).__name__} state={_STATE_NAMES[self._state]}>"
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` nanoseconds after creation."""
+    """An event that fires ``delay`` nanoseconds after creation.
+
+    Construction is the kernel's hottest path (one per simulated wait),
+    so it bypasses :meth:`Event.__init__`/:meth:`Event.succeed` and
+    writes the slots directly — a bare timeout never allocates any
+    callback storage.
+    """
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        self.sim = sim
         self._value = value
         self._ok = True
-        self._state = Event.TRIGGERED
+        self._state = _TRIGGERED
+        self._cb1 = None
+        self._cbs = None
         sim._schedule(self, delay)
 
 
@@ -138,39 +225,61 @@ class Process(Event):
     value is the generator's return value) or raises.
     """
 
+    __slots__ = ("_generator", "_waiting_on", "_resume_bound")
+
     def __init__(self, sim: "Simulator", generator: Generator) -> None:
         if not hasattr(generator, "send"):
             raise SimulationError("process target must be a generator")
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume once at the current time.
+        # One bound method for the process lifetime: callback removal
+        # (interrupt) compares by identity, and rebinding per resume
+        # would allocate on every yield.
+        resume = self._resume_bound = self._resume
+        # Bootstrap: resume once at the current time, through the queue,
+        # so process starts interleave deterministically with events
+        # already scheduled for "now".
         init = Event(sim)
-        init.succeed()
-        init.add_callback(self._resume)
+        init._state = _TRIGGERED
+        init._cb1 = resume
+        sim._schedule(init, 0)
 
     @property
     def is_alive(self) -> bool:
-        return self._state == Event.PENDING
+        return self._state == _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
-            raise SimulationError("cannot interrupt a finished process")
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a process that already terminated is a caller bug
+        and raises a clear :class:`SimulationError` (the scheduler state
+        is left untouched).  An interrupt already *in flight* when the
+        process terminates is discarded by :meth:`_resume`.
+        """
+        if self._state != _PENDING:
+            raise SimulationError(
+                "cannot interrupt a terminated process "
+                f"(state={_STATE_NAMES[self._state]})"
+            )
         waiting, self._waiting_on = self._waiting_on, None
-        if waiting is not None and waiting.callbacks is not None:
-            try:
-                waiting.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if waiting is not None and waiting._state != _PROCESSED:
+            waiting._remove_callback(self._resume_bound)
         wake = Event(self.sim)
         wake.fail(Interrupt(cause))
-        wake.add_callback(self._resume)
+        wake._cb1 = self._resume_bound
 
     def _resume(self, event: Event) -> None:
+        if self._state != _PENDING:
+            # Stale wakeup: an interrupt (or double interrupt) delivered
+            # after the process already terminated.  Throwing into the
+            # closed generator would re-trigger this (already
+            # triggered) event and corrupt the scheduler mid-step —
+            # drop the wakeup instead.
+            return
         self._waiting_on = None
         try:
-            if event.ok:
+            if event._ok:
                 target = self._generator.send(event._value)
             else:
                 target = self._generator.throw(event._value)
@@ -191,7 +300,7 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_bound)
 
 
 class AllOf(Event):
@@ -200,8 +309,10 @@ class AllOf(Event):
     Its value is the list of child values, in the order given.
     """
 
+    __slots__ = ("_events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self._events = list(events)
         self._pending = len(self._events)
         if self._pending == 0:
@@ -211,9 +322,9 @@ class AllOf(Event):
             event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
-        if not event.ok:
+        if not event._ok:
             self.fail(event._value)
             return
         self._pending -= 1
@@ -227,8 +338,10 @@ class AnyOf(Event):
     Its value is ``(index, value)`` of the first child to fire.
     """
 
+    __slots__ = ("_events",)
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self._events = list(events)
         if not self._events:
             raise SimulationError("AnyOf requires at least one event")
@@ -236,21 +349,82 @@ class AnyOf(Event):
             event.add_callback(lambda ev, i=index: self._on_child(i, ev))
 
     def _on_child(self, index: int, event: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
-        if not event.ok:
+        if not event._ok:
             self.fail(event._value)
             return
         self.succeed((index, event._value))
 
 
+# ---------------------------------------------------------------------------
+# Ambient simulated-time accounting (the bench harness's sim_ns source)
+
+#: Active :class:`SimTimeCollector` stack.  Checked (one truthiness
+#: test) on every Simulator construction — Simulators are created a
+#: handful of times per figure cell, so this costs nothing on the hot
+#: path while letting the exec harness report final simulated time
+#: without threading a handle through every figure module.
+_COLLECTORS: List["SimTimeCollector"] = []
+
+
+class SimTimeCollector:
+    """Context manager that tracks every :class:`Simulator` created in
+    its scope and sums their final clocks.
+
+    Used by :func:`repro.exec.runner.execute_cell` to report the total
+    simulated span a grid cell covered (the ``sim_ns`` bench field).
+    Collectors nest: each registers the Simulators created while it is
+    the innermost *or* an outer active scope.
+    """
+
+    __slots__ = ("_sims",)
+
+    def __init__(self) -> None:
+        self._sims: List["Simulator"] = []
+
+    def __enter__(self) -> "SimTimeCollector":
+        _COLLECTORS.append(self)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        _COLLECTORS.remove(self)
+
+    def _register(self, sim: "Simulator") -> None:
+        self._sims.append(sim)
+
+    @property
+    def simulators(self) -> int:
+        return len(self._sims)
+
+    @property
+    def total_sim_ns(self) -> int:
+        """Sum of the current clocks of every registered Simulator."""
+        return sum(sim._now for sim in self._sims)
+
+
 class Simulator:
-    """The event scheduler: a priority queue over (time, seq, event)."""
+    """The event scheduler: a calendar queue over per-timestamp buckets.
+
+    ``_times`` is a heap of the *distinct* pending timestamps;
+    ``_buckets`` maps each to the FIFO list of events scheduled for it;
+    ``_cursor`` is the drain position inside the minimum bucket.  A
+    bucket's heap entry is pushed exactly once (on creation), so a
+    same-timestamp storm costs one append per event and one heap
+    operation per distinct timestamp.  Exhausted buckets are reclaimed
+    lazily when the drain reaches their end.
+    """
+
+    __slots__ = ("_now", "_times", "_buckets", "_cursor")
 
     def __init__(self) -> None:
         self._now = 0
-        self._queue: List[tuple] = []
-        self._seq = itertools.count()
+        self._times: List[int] = []
+        self._buckets: Dict[int, List[Event]] = {}
+        self._cursor = 0
+        if _COLLECTORS:
+            for collector in _COLLECTORS:
+                collector._register(self)
 
     @property
     def now(self) -> int:
@@ -279,21 +453,57 @@ class Simulator:
     def _schedule(self, event: Event, delay: int = 0) -> None:
         if delay < 0:
             raise SimulationError("cannot schedule into the past")
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        when = self._now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [event]
+            _heappush(self._times, when)
+        else:
+            bucket.append(event)
+
+    def _next(self) -> Optional[Event]:
+        """Take the next event in deterministic order, advancing the
+        clock; ``None`` when the queue is empty.  The event is consumed
+        *before* it is processed, so an exception escaping a callback
+        leaves the queue consistent."""
+        times = self._times
+        buckets = self._buckets
+        cursor = self._cursor
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            if cursor < len(bucket):
+                event = bucket[cursor]
+                self._cursor = cursor + 1
+                self._now = when
+                return event
+            # Bucket exhausted: reclaim it.  No earlier bucket can have
+            # appeared while it drained (delays are non-negative), so
+            # the cursor reset is safe.
+            _heappop(times)
+            del buckets[when]
+            cursor = self._cursor = 0
+        return None
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
+        event = self._next()
+        if event is None:
             raise SimulationError("no scheduled events")
-        when, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise SimulationError("event scheduled in the past")
-        self._now = when
         event._process()
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        times = self._times
+        buckets = self._buckets
+        while times:
+            when = times[0]
+            if self._cursor < len(buckets[when]):
+                return when
+            _heappop(times)
+            del buckets[when]
+            self._cursor = 0
+        return None
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
@@ -302,22 +512,54 @@ class Simulator:
         :class:`Event` (run until it is processed and return its value;
         raises if it failed).
         """
+        # The two hot drain loops below are `_next()` inlined by hand:
+        # one call frame and a handful of attribute loads per event are
+        # measurable at millions of events.  `times`/`buckets` alias the
+        # live containers (they are never rebound, only mutated), so
+        # events scheduled by a callback are visible to the loop.
+        times = self._times
+        buckets = self._buckets
         if until is None:
-            while self._queue:
-                self.step()
+            while times:
+                when = times[0]
+                bucket = buckets[when]
+                cursor = self._cursor
+                if cursor < len(bucket):
+                    self._cursor = cursor + 1
+                    self._now = when
+                    bucket[cursor]._process()
+                else:
+                    _heappop(times)
+                    del buckets[when]
+                    self._cursor = 0
             return None
         if isinstance(until, Event):
-            while not until.processed:
-                if not self._queue:
+            while until._state != _PROCESSED:
+                if not times:
                     raise SimulationError(
                         "simulation ran out of events before target triggered"
                     )
-                self.step()
-            if not until.ok:
-                raise until.value
-            return until.value
+                when = times[0]
+                bucket = buckets[when]
+                cursor = self._cursor
+                if cursor < len(bucket):
+                    self._cursor = cursor + 1
+                    self._now = when
+                    bucket[cursor]._process()
+                else:
+                    _heappop(times)
+                    del buckets[when]
+                    self._cursor = 0
+            if not until._ok:
+                raise until._value
+            return until._value
+        advance = self._next
         deadline = int(until)
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        while True:
+            when = self.peek()
+            if when is None or when > deadline:
+                break
+            event = advance()
+            event._process()
         self._now = max(self._now, deadline)
         return None

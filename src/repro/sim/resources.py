@@ -18,6 +18,8 @@ from .engine import Event, SimulationError, Simulator
 class Request(Event):
     """Grant event handed out by :meth:`Resource.request`."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource
@@ -35,6 +37,8 @@ class Resource:
         finally:
             engine_pool.release(req)
     """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
 
     def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity < 1:
@@ -88,6 +92,8 @@ class Store:
     (immediately unless a ``capacity`` was given and the store is full).
     ``get`` returns an event whose value is the item.
     """
+
+    __slots__ = ("sim", "capacity", "_items", "_getters", "_putters")
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:

@@ -8,8 +8,32 @@ format for flamegraph.pl and speedscope.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, List, Tuple
+
+
+class _Frame:
+    """Pops one pushed frame on block exit.
+
+    ``frame()`` wraps every simulated driver/TDX call (~100k per figure
+    cell); a plain ``__enter__``/``__exit__`` object avoids the
+    generator frame + ``contextlib`` dispatch per call.  The frame is
+    pushed at call time — with-statement semantics evaluate the context
+    expression immediately before ``__enter__``, so nesting order is
+    unchanged.
+    """
+
+    __slots__ = ("_stack",)
+
+    def __init__(self, stack: List[str], name: str) -> None:
+        self._stack = stack
+        stack.append(name)
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        self._stack.pop()
+        return False
 
 
 class CallStackRecorder:
@@ -19,20 +43,15 @@ class CallStackRecorder:
         self._current: List[str] = []
         self._samples: Dict[Tuple[str, ...], int] = {}
 
-    @contextmanager
-    def frame(self, name: str) -> Iterator[None]:
+    def frame(self, name: str) -> _Frame:
         """Push a frame for the duration of a with-block."""
-        self._current.append(name)
-        try:
-            yield
-        finally:
-            self._current.pop()
+        return _Frame(self._current, name)
 
     def record(self, self_time_ns: int, *extra_frames: str) -> None:
         """Attribute ``self_time_ns`` to the current stack (+extras)."""
         if self_time_ns <= 0:
             return
-        stack = tuple(self._current) + tuple(extra_frames)
+        stack = tuple(self._current) + extra_frames
         if not stack:
             stack = ("<root>",)
         self._samples[stack] = self._samples.get(stack, 0) + self_time_ns

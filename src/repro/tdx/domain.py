@@ -63,6 +63,11 @@ class GuestContext:
         self.bounce.on_usage = (
             lambda used: self.metrics.gauge("bounce.used_bytes").set(used)
         )
+        # Lazily-cached hot instruments: resolved on first use (so the
+        # registry's register-on-lookup semantics — and therefore the
+        # set of exported metric names — are unchanged), then reused.
+        self._hypercalls_counter: Optional[object] = None
+        self._pages_converted_counter: Optional[object] = None
         # Primitive counters for overhead attribution.
         self.hypercall_count = 0
         self.seamcall_count = 0
@@ -164,7 +169,12 @@ class GuestContext:
                 self.stacks.record(duration)
         yield self.sim.timeout(duration)
         start = self.sim.now - duration
-        self.metrics.counter("tdx.hypercalls").inc()
+        counter = self._hypercalls_counter
+        if counter is None:
+            counter = self._hypercalls_counter = self.metrics.counter(
+                "tdx.hypercalls"
+            )
+        counter.inc()
         if self.cc:
             parent = self.spans.record(reason, "tdx_module", start, duration)
             self.spans.record(
@@ -234,7 +244,12 @@ class GuestContext:
             duration,
             pages=converted,
         )
-        self.metrics.counter("tdx.pages_converted").inc(converted)
+        counter = self._pages_converted_counter
+        if counter is None:
+            counter = self._pages_converted_counter = self.metrics.counter(
+                "tdx.pages_converted"
+            )
+        counter.inc(converted)
         return duration
 
     # -- bounce-buffer management -------------------------------------------
@@ -268,9 +283,12 @@ class GuestContext:
                             duration,
                             pages=num_pages,
                         )
-                        self.metrics.counter("tdx.pages_converted").inc(
-                            num_pages
-                        )
+                        counter = self._pages_converted_counter
+                        if counter is None:
+                            counter = self._pages_converted_counter = (
+                                self.metrics.counter("tdx.pages_converted")
+                            )
+                        counter.inc(num_pages)
                 except BaseException:
                     # The mapping failed: the slot must not leak.
                     self.bounce.free(slot)

@@ -256,11 +256,15 @@ def test_measure_times_cells_and_sim_benches():
 
 
 def test_baseline_save_load_roundtrip(tmp_path):
-    entries = {"cell:x": check_perf.PerfEntry("cell:x", wall_ns=1000)}
+    entries = {
+        "cell:x": check_perf.PerfEntry("cell:x", wall_ns=1000, sim_ns=500)
+    }
     path = str(tmp_path / "b.json")
     check_perf.save_baseline(entries, path, repeats=1)
     baseline = check_perf.load_baseline(path)
     assert baseline["entries"]["cell:x"]["wall_ns"] == 1000
+    assert baseline["entries"]["cell:x"]["sim_ns"] == 500
+    assert baseline["entries"]["cell:x"]["sim_ns_per_wall_s"] > 0
 
 
 def test_baseline_version_mismatch_rejected(tmp_path):
@@ -271,11 +275,87 @@ def test_baseline_version_mismatch_rejected(tmp_path):
         check_perf.load_baseline(path)
 
 
+def test_baseline_all_cells_zero_sim_ns_rejected(tmp_path):
+    """The zeroed-accounting bug: a baseline where no cell recorded a
+    simulator clock must not load (it could never gate sim throughput)."""
+    entries = {
+        "cell:a": check_perf.PerfEntry("cell:a", wall_ns=1000),
+        "cell:b": check_perf.PerfEntry("cell:b", wall_ns=2000),
+    }
+    path = str(tmp_path / "b.json")
+    check_perf.save_baseline(entries, path, repeats=1)
+    with pytest.raises(ValueError, match="zeroed accounting"):
+        check_perf.load_baseline(path)
+
+
+def test_baseline_analytic_cell_zero_sim_ns_allowed(tmp_path):
+    """Individual analytic cells (table1) legitimately record sim_ns=0
+    as long as the harness is recording the clock somewhere."""
+    entries = {
+        "cell:table1": check_perf.PerfEntry("cell:table1", wall_ns=1000),
+        "cell:fig05": check_perf.PerfEntry(
+            "cell:fig05", wall_ns=1000, sim_ns=7
+        ),
+    }
+    path = str(tmp_path / "b.json")
+    check_perf.save_baseline(entries, path, repeats=1)
+    baseline = check_perf.load_baseline(path)
+    assert baseline["entries"]["cell:table1"]["sim_ns"] == 0
+
+
+def test_baseline_sim_bench_zero_sim_ns_rejected(tmp_path):
+    entries = {
+        "sim:gemm.cc": check_perf.PerfEntry("sim:gemm.cc", wall_ns=1000)
+    }
+    path = str(tmp_path / "b.json")
+    check_perf.save_baseline(entries, path, repeats=1)
+    with pytest.raises(ValueError, match="sim_ns=0"):
+        check_perf.load_baseline(path)
+
+
+def test_baseline_nonpositive_wall_ns_rejected(tmp_path):
+    path = str(tmp_path / "b.json")
+    with open(path, "w") as handle:
+        json.dump(
+            _baseline(
+                {
+                    "cell:x": {
+                        "wall_ns": 0,
+                        "sim_ns": 5,
+                        "sim_ns_per_wall_s": 1.0,
+                    }
+                }
+            ),
+            handle,
+        )
+    with pytest.raises(ValueError, match="invalid wall_ns"):
+        check_perf.load_baseline(path)
+
+
+def test_baseline_inconsistent_rate_rejected(tmp_path):
+    path = str(tmp_path / "b.json")
+    with open(path, "w") as handle:
+        json.dump(
+            _baseline(
+                {
+                    "cell:x": {
+                        "wall_ns": 1000,
+                        "sim_ns": 5,
+                        "sim_ns_per_wall_s": 0.0,
+                    }
+                }
+            ),
+            handle,
+        )
+    with pytest.raises(ValueError, match="inconsistent"):
+        check_perf.load_baseline(path)
+
+
 def test_perf_regression_returns_exit_5():
     entries = {"cell:x": check_perf.PerfEntry("cell:x", wall_ns=2000)}
     report = check_perf.compare(
         _baseline({"cell:x": {"wall_ns": 1000, "sim_ns": 0}}), entries,
-        band=0.75,
+        band=0.75, noise_floor_ns=0,
     )
     assert report.regressions and report.exit_code == EXIT_PERF_REGRESSION
     assert report.verdict == "PERF_REGRESSION"
@@ -291,11 +371,29 @@ def test_perf_within_band_is_ok_and_improvement_is_a_hint():
             "cell:ok": {"wall_ns": 1000, "sim_ns": 0},
             "cell:fast": {"wall_ns": 1000, "sim_ns": 0},
         }),
-        entries, band=0.75,
+        entries, band=0.75, noise_floor_ns=0,
     )
     statuses = {c.name: c.status for c in report.comparisons}
     assert statuses == {"cell:ok": "ok", "cell:fast": "improved"}
     assert report.ok and report.exit_code == EXIT_OK
+
+
+def test_perf_noise_floor_shields_sub_ms_benches():
+    """A 2x blowup on a 0.5 ms bench is scheduler jitter, not a
+    regression; the same ratio above the floor still fails."""
+    entries = {
+        "sim:tiny": check_perf.PerfEntry("sim:tiny", wall_ns=1_000_000),
+        "cell:big": check_perf.PerfEntry("cell:big", wall_ns=400_000_000),
+    }
+    report = check_perf.compare(
+        _baseline({
+            "sim:tiny": {"wall_ns": 500_000, "sim_ns": 0},
+            "cell:big": {"wall_ns": 200_000_000, "sim_ns": 0},
+        }),
+        entries, band=0.2, noise_floor_ns=50_000_000,
+    )
+    statuses = {c.name: c.status for c in report.comparisons}
+    assert statuses == {"sim:tiny": "ok", "cell:big": "regression"}
 
 
 def test_perf_sim_drift_is_informational_not_failing():

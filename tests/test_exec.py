@@ -425,3 +425,40 @@ def test_cli_grid_json_matches_figures_command(tmp_path):
         assert handle.read() == legacy_blob
     payload = json.loads(legacy_blob)
     assert payload["figure_id"] == "fig04b_crypto"
+
+
+# ---------------------------------------------------------------------------
+# simulator-clock accounting (the zeroed-sim_ns bug)
+
+
+def test_execute_cell_records_simulator_clock():
+    """A simulating cell's payload carries the final simulator clock —
+    the statistic the perf baseline's sim_ns_per_wall_s derives from."""
+    spec = exec_runner.GRID["fig03"]
+    payload = exec_runner.execute_cell(exec_runner._work_item(spec))
+    assert payload["ok"]
+    assert payload["sim_ns"] > 0
+
+
+def test_analytic_cell_has_zero_sim_ns():
+    spec = exec_runner.GRID["table1"]
+    payload = exec_runner.execute_cell(exec_runner._work_item(spec))
+    assert payload["ok"]
+    assert payload["sim_ns"] == 0
+
+
+def test_bench_cell_forwards_sim_ns():
+    result = exec_runner.bench_cell("fig03", repeats=1)
+    assert result["ok"]
+    assert result["sim_ns"] > 0
+
+
+def test_run_grid_sim_ns_survives_cache_roundtrip(tmp_path):
+    results, _ = _dirs(tmp_path)
+    cold = exec_runner.run_grid(["fig03"], results_dir=results)
+    assert cold.ok
+    recorded = cold.outcomes[0].sim_ns
+    assert recorded > 0
+    warm = exec_runner.run_grid(["fig03"], results_dir=results)
+    assert warm.all_cached()
+    assert warm.outcomes[0].sim_ns == recorded
