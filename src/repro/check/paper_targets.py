@@ -246,6 +246,17 @@ TARGETS: Dict[str, Dict[str, PaperTarget]] = {
         "TTFT p99 inflation >= Sec.-V per-step CC tax (fraction)":
             _lit(1.0, source="Sec. V model + serialized-bridge regime"),
     },
+    "ext_cluster_serving": {
+        # Cluster-scale direction predicates: with kernels sharded
+        # across tp GPUs, every per-layer all-reduce rides the secure
+        # peer links, so the CC goodput knee sits strictly left of
+        # base at every TP degree, and the knee gap widens as TP grows
+        # (more taxed ring steps per sync).
+        "CC goodput knee strictly below base under TP>=2 (fraction)":
+            _lit(1.0, source="The Serialized Bridge (Yin & Wang, 2026)"),
+        "knee degradation grows with TP degree (fraction of steps)":
+            _lit(1.0, source="The Serialized Bridge (Yin & Wang, 2026)"),
+    },
     "ext_fault_serving": {
         # Resilience predicates (fractions over base/cc modes) for the
         # fault-rate x policy serving sweep: zero-fault runs must be
@@ -312,6 +323,7 @@ ACCURACY_THRESHOLDS: Dict[str, float] = {
     "ext_distributed_training": 8.0,  # achieved 0.2
     "ext_fault_recovery": 1.0,      # rate-0 row is an exact guarantee
     "ext_serving": 1.0,             # fraction predicates are exact 1.0
+    "ext_cluster_serving": 1.0,     # fraction predicates are exact 1.0
     "ext_fault_serving": 1.0,       # fraction predicates are exact 1.0
     "ext_serve_telemetry": 1.0,     # fraction predicates are exact 1.0
 }

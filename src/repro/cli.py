@@ -28,7 +28,10 @@ serve [--rate R] [--duration 2s] [--tenants N] [--policy fcfs|spf]
         swap|recompute] [--fault-plan P.json | --fault-rate R]
         [--deadline MS] [--ttft-timeout MS] [--shed-policy
         none|deadline|pushback] [--circuit-breaker] [--max-queue-depth N]
-        [--max-restarts N] [--verdict OUT.json] [--trace OUT.json]
+        [--max-restarts N] [--replicas N] [--tp N] [--pp N]
+        [--link-policy naive|batched] [--placement round-robin|
+        least-loaded|kv-affinity] [--autoscale-max N]
+        [--verdict OUT.json] [--trace OUT.json]
         [--requests-out OUT.jsonl|csv] [--telemetry] [--json]
     Simulate a multi-tenant continuous-batching serving scenario
     (repro.serve), optionally under a fault plan with a degradation
@@ -36,7 +39,14 @@ serve [--rate R] [--duration 2s] [--tenants N] [--policy fcfs|spf]
     byte-deterministic for a given flag set.  --trace/--requests-out
     enable request-scoped telemetry (per-request Perfetto tracks,
     per-request CC-tax attribution records) without perturbing the
-    verdict.
+    verdict.  Any non-trivial topology flag (--replicas/--tp/--pp/
+    --autoscale-max) routes the scenario through repro.serve.cluster:
+    replica engines whose TP all-reduces ride the secure peer links
+    and whose placement/attestation costs come from the same simulated
+    CC stack.  Contradictory flag combinations (a --deadline that no
+    shed policy enforces, a --circuit-breaker with no faults to trip
+    it, telemetry outputs on a multi-replica cluster) exit 2 at parse
+    time instead of being silently ignored.
 serve report [scenario flags] [--top K] [--by-tenant] [--diff] [--json]
     Tail-latency forensics for one scenario: top-k slowest requests
     with per-request Sec.-V blame (T/E/L/Q/K/D/recovery + queueing),
@@ -227,21 +237,25 @@ def _figures_module():
 
 
 def cmd_figures(args) -> int:
-    from .figures import (ext_fault_serving, ext_serve_telemetry,
-                          ext_serving, extensions)
+    from .figures import (ext_cluster_serving, ext_fault_serving,
+                          ext_serve_telemetry, ext_serving, extensions)
 
     def _ext_result(ext_name):
-        # "serving"/"fault_serving"/"serve_telemetry" live in their
-        # own modules (they layer on repro.serve rather than the
-        # single-app harness).
+        # The serving-family extensions live in their own modules
+        # (they layer on repro.serve rather than the single-app
+        # harness).
         if ext_name == "serving":
             return ext_serving.generate_serving()
         if ext_name == "fault_serving":
             return ext_fault_serving.generate_fault_serving()
         if ext_name == "serve_telemetry":
             return ext_serve_telemetry.generate_serve_telemetry()
+        if ext_name == "cluster_serving":
+            return ext_cluster_serving.generate_cluster_serving()
         return getattr(extensions, f"generate_{ext_name}")()
 
+    serve_family = ("serving", "fault_serving", "serve_telemetry",
+                    "cluster_serving")
     names = args.ids or sorted(_FAST_FIGURES)
     for name in names:
         if name in _FAST_FIGURES:
@@ -249,17 +263,16 @@ def cmd_figures(args) -> int:
         elif name in ("fig12c", "fig13", "fig14"):
             result = _SLOW_FIGURES[name]()
         elif name == "ext":
-            for ext_name in (*_EXTENSIONS, "serving", "fault_serving",
-                             "serve_telemetry"):
+            for ext_name in (*_EXTENSIONS, *serve_family):
                 result = _ext_result(ext_name)
                 print(result.to_text())
                 print(f"[saved] {result.save(args.out)}\n")
             continue
-        elif name in _EXTENSIONS or name in ("serving", "fault_serving", "serve_telemetry"):
+        elif name in _EXTENSIONS or name in serve_family:
             result = _ext_result(name)
         else:
             known = (sorted(_FAST_FIGURES) + sorted(_SLOW_FIGURES)
-                     + list(_EXTENSIONS) + ["serving", "fault_serving", "serve_telemetry"])
+                     + list(_EXTENSIONS) + list(serve_family))
             print(f"unknown figure {name!r}; known: {known}",
                   file=sys.stderr)
             return 2
@@ -568,12 +581,148 @@ def _write_requests(attributions, path: str) -> None:
     print(f"per-request records -> {path}")
 
 
+def _validate_serve_args(args) -> None:
+    """Reject contradictory serve flag combinations at parse time.
+
+    Each of these combos used to parse cleanly and then be silently
+    ignored (a --deadline under shed_policy="none" never sheds
+    anything; a --circuit-breaker with no fault plan never trips).
+    Contradictions exit 2 with the usage line, the same contract as
+    the argparse-level value validators.
+    """
+    from .serve.parallelism import MAX_WORLD_SIZE, TP_DEGREES
+
+    error = args._serve_parser.error
+    faults = bool(args.fault_plan) or args.fault_rate is not None
+    if args.circuit_breaker and not faults:
+        error("--circuit-breaker never trips without "
+              "--fault-plan/--fault-rate")
+    if (args.deadline or args.ttft_timeout) and args.shed_policy == "none":
+        error("--deadline/--ttft-timeout are never enforced under "
+              "--shed-policy none; use deadline or pushback")
+    if args.shed_policy == "deadline" and not (
+            args.deadline or args.ttft_timeout):
+        error("--shed-policy deadline needs --deadline and/or "
+              "--ttft-timeout to enforce")
+    if args.max_queue_depth and args.shed_policy != "pushback":
+        error("--max-queue-depth is only read by --shed-policy pushback")
+    if (args.shed_policy == "pushback" and not args.max_queue_depth
+            and not faults):
+        error("--shed-policy pushback with no --max-queue-depth and no "
+              "fault flags never sheds anything")
+    # Cluster topology (serve only; `serve report` has no cluster flags).
+    replicas = getattr(args, "replicas", 1)
+    tp = getattr(args, "tp", 1)
+    pp = getattr(args, "pp", 1)
+    autoscale = getattr(args, "autoscale_max", 0)
+    if tp not in TP_DEGREES:
+        error(f"--tp must be one of {TP_DEGREES}, got {tp}")
+    if tp * pp > MAX_WORLD_SIZE:
+        error(f"--tp x --pp must fit the {MAX_WORLD_SIZE}-GPU node, "
+              f"got {tp * pp}")
+    if autoscale and autoscale < replicas:
+        error(f"--autoscale-max ({autoscale}) is a ceiling and must be "
+              f">= --replicas ({replicas})")
+    if getattr(args, "link_policy", "naive") != "naive" and tp == 1:
+        error("--link-policy only shapes tp>1 peer links; add --tp 2/4/8")
+    if (getattr(args, "placement", "round-robin") != "round-robin"
+            and replicas == 1 and not autoscale):
+        error("--placement needs --replicas > 1 or --autoscale-max "
+              "(one fixed replica leaves nothing to place)")
+    if (replicas > 1 or autoscale > replicas) and (
+            args.trace or args.requests_out
+            or getattr(args, "telemetry", False)):
+        error("--trace/--requests-out/--telemetry need a single-replica "
+              "cluster (per-request clocks are per-engine)")
+
+
+def _cmd_serve_cluster(args) -> int:
+    """``repro serve`` with a non-trivial topology: the cluster path."""
+    from .serve import ClusterSpec, cluster_verdict_json, run_cluster
+
+    telemetry = bool(args.trace or args.requests_out or args.telemetry)
+    try:
+        spec = ClusterSpec(
+            scenario=_build_serve_spec(args),
+            replicas=args.replicas,
+            tp=args.tp,
+            pp=args.pp,
+            link_policy=args.link_policy,
+            placement=args.placement,
+            autoscale_max=args.autoscale_max,
+        )
+        traces, result = run_cluster(
+            spec, _config(args), telemetry=telemetry
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    report = result.report
+    router = result.router
+    mode = "cc" if result.cc else "base"
+    print(
+        f"serve-cluster[{mode}] tp={spec.tp} pp={spec.pp} "
+        f"replicas={router['replicas_started']}->"
+        f"{router['replicas_final']} placement={spec.placement} "
+        f"rate={spec.scenario.rate_rps:g} rps x "
+        f"{spec.scenario.tenants} tenants, seed {spec.scenario.seed}"
+    )
+    print(
+        f"  requests {result.requests}  completed {report['completed']}  "
+        f"rejected {report['rejected']}"
+    )
+    print(
+        f"  goodput {report['goodput_rps']:.2f} rps  "
+        f"ttft p50/p99 {report['ttft_ms']['p50']:.2f}/"
+        f"{report['ttft_ms']['p99']:.2f} ms  "
+        f"elapsed {units.to_ms(result.elapsed_ns):.1f} ms"
+    )
+    ups = [e for e in router["autoscale_events"]
+           if e["action"] == "scale-up"]
+    print(
+        f"  router   ingress {router['ingress_ns'] / 1e3:.1f} us  "
+        f"attest {router['attest_ms']:.2f} ms  "
+        f"spills {router['affinity_spills']}  scale-ups {len(ups)}"
+    )
+    for outcome in result.replicas:
+        stats = outcome.engine.stats
+        comm = ""
+        if "tp_comm_ns" in stats or "pp_comm_ns" in stats:
+            comm = (
+                f"  tp_comm {units.to_ms(stats.get('tp_comm_ns', 0)):.1f}"
+                f" ms  pp_comm "
+                f"{units.to_ms(stats.get('pp_comm_ns', 0)):.1f} ms"
+            )
+        print(
+            f"  replica {outcome.replica_id}: {outcome.requests} reqs  "
+            f"goodput {outcome.report['goodput_rps']:.2f} rps{comm}"
+        )
+    payload = cluster_verdict_json(result)
+    if args.verdict:
+        with open(args.verdict, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"verdict -> {args.verdict}")
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(traces[0].to_chrome_trace())
+        print(f"chrome trace -> {args.trace}")
+    if args.requests_out:
+        _write_requests(result.attributions, args.requests_out)
+    if args.json:
+        print(payload)
+    return 0
+
+
 def cmd_serve(args) -> int:
     """``repro serve``: one multi-tenant serving scenario + verdict."""
     from .serve import run_scenario, verdict_json
 
     if getattr(args, "serve_command", None) == "report":
         return cmd_serve_report(args)
+
+    _validate_serve_args(args)
+    if (args.replicas > 1 or args.tp > 1 or args.pp > 1
+            or args.autoscale_max > 0):
+        return _cmd_serve_cluster(args)
 
     # Telemetry is pure bookkeeping (the verdict is byte-identical
     # either way); enable it whenever an output wants the per-request
@@ -652,6 +801,7 @@ def cmd_serve_report(args) -> int:
         tenant_rollup,
     )
 
+    _validate_serve_args(args)
     try:
         spec = _build_serve_spec(args)
         config = _config(args)
@@ -968,6 +1118,33 @@ def build_parser() -> argparse.ArgumentParser:
                               "without an output (zero perturbation)")
     serve_p.add_argument("--json", action="store_true",
                          help="print the verdict JSON to stdout")
+    cluster_group = serve_p.add_argument_group(
+        "cluster topology (repro.serve.cluster)",
+        "replicated engines behind the tenant-aware router; any "
+        "non-trivial value routes the scenario through the cluster path",
+    )
+    cluster_group.add_argument(
+        "--replicas", type=_positive_int, default=1, metavar="N",
+        help="fixed replica engines behind the router (default 1)")
+    cluster_group.add_argument(
+        "--tp", type=_positive_int, default=1, metavar="N",
+        help="tensor-parallel degree per replica: 1, 2, 4 or 8")
+    cluster_group.add_argument(
+        "--pp", type=_positive_int, default=1, metavar="N",
+        help="pipeline stages per replica (default 1)")
+    cluster_group.add_argument(
+        "--link-policy", choices=("naive", "batched"), default="naive",
+        help="secure peer-link mode for tp>1 under --cc (default naive)")
+    cluster_group.add_argument(
+        "--placement",
+        choices=("round-robin", "least-loaded", "kv-affinity"),
+        default="round-robin",
+        help="router placement policy (default round-robin)")
+    cluster_group.add_argument(
+        "--autoscale-max", type=_nonneg_int, default=0, metavar="N",
+        help="autoscaler replica ceiling (0 = off); each scale-up "
+             "pays a full SPDM attestation before serving")
+    serve_p.set_defaults(_serve_parser=serve_p)
 
     sreport_p = serve_sub.add_parser(
         "report",
@@ -986,6 +1163,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(requires --cc)")
     sreport_p.add_argument("--json", action="store_true",
                            help="print the forensics report as JSON")
+    sreport_p.set_defaults(_serve_parser=sreport_p)
 
     trace_p = sub.add_parser(
         "trace", help="export / summarize / diff observability traces"

@@ -19,6 +19,7 @@ from .errors import (
     FaultError,
     GcmTagFault,
     HypercallTimeoutFault,
+    LinkFault,
     TransientFault,
 )
 from .injector import FaultInjector, FaultRecord
@@ -28,6 +29,7 @@ from .plan import (
     DMA,
     GCM_TAG,
     HYPERCALL,
+    LINK,
     SPDM,
     FaultModelSpec,
     FaultPlan,
@@ -52,6 +54,8 @@ __all__ = [
     "GcmTagFault",
     "HYPERCALL",
     "HypercallTimeoutFault",
+    "LINK",
+    "LinkFault",
     "RetryPolicy",
     "SPDM",
     "SiteFaults",

@@ -60,6 +60,11 @@ class AttestationFault(TransientFault):
     """SPDM message corruption detected during GPU attestation."""
 
 
+class LinkFault(TransientFault):
+    """Secure inter-GPU link transfer failed MAC verification or the
+    link dropped mid-collective and must retrain before the retry."""
+
+
 class FatalFault(FaultError):
     """A fault that exhausted its retry budget.
 

@@ -26,9 +26,19 @@ from .errors import (
     DmaFault,
     GcmTagFault,
     HypercallTimeoutFault,
+    LinkFault,
     TransientFault,
 )
-from .plan import ALL_SITES, BOUNCE_POOL, DMA, GCM_TAG, HYPERCALL, SPDM, FaultPlan
+from .plan import (
+    ALL_SITES,
+    BOUNCE_POOL,
+    DMA,
+    GCM_TAG,
+    HYPERCALL,
+    LINK,
+    SPDM,
+    FaultPlan,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim import Simulator
@@ -39,6 +49,7 @@ _FAULT_CLASSES = {
     HYPERCALL: HypercallTimeoutFault,
     BOUNCE_POOL: BounceExhaustedFault,
     SPDM: AttestationFault,
+    LINK: LinkFault,
 }
 
 

@@ -40,8 +40,9 @@ DMA = "gpu.dma"  # transient PCIe/DMA transaction error
 HYPERCALL = "tdx.hypercall"  # hypercall/seamcall timeout
 BOUNCE_POOL = "tdx.bounce_pool"  # swiotlb bounce-pool exhaustion
 SPDM = "spdm.attest"  # SPDM attestation message corruption
+LINK = "link.transfer"  # secure peer-link MAC failure mid-collective
 
-ALL_SITES: Tuple[str, ...] = (GCM_TAG, DMA, HYPERCALL, BOUNCE_POOL, SPDM)
+ALL_SITES: Tuple[str, ...] = (GCM_TAG, DMA, HYPERCALL, BOUNCE_POOL, SPDM, LINK)
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,7 @@ the text tables and tee JSON into ``results/``.
 
 from .common import FigureResult, default_results_dir
 from . import (
+    ext_cluster_serving,
     ext_fault_serving,
     ext_serve_telemetry,
     ext_serving,
@@ -30,6 +31,7 @@ from . import (
 __all__ = [
     "FigureResult",
     "default_results_dir",
+    "ext_cluster_serving",
     "ext_fault_serving",
     "ext_serve_telemetry",
     "ext_serving",

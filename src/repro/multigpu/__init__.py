@@ -3,6 +3,7 @@ secure channels with naive vs batched metadata management, and timed
 collectives (the scaling direction of paper Sec. VIII)."""
 
 from .collectives import (
+    RING_REDUCE_NS_PER_BYTE,
     CollectiveResult,
     all_reduce_sweep,
     best_all_reduce,
@@ -21,6 +22,7 @@ from .links import (
     effective_bandwidth_gbps,
     transfer_time_ns,
 )
+from .session import SessionStats, run_ring_all_reduce, wire_bytes
 
 __all__ = [
     "AuthFailure",
@@ -28,14 +30,18 @@ __all__ = [
     "LinkSecurity",
     "LinkSpec",
     "MultiGPUNode",
+    "RING_REDUCE_NS_PER_BYTE",
     "ReplayError",
     "SecureChannel",
+    "SessionStats",
     "all_reduce_sweep",
     "best_all_reduce",
     "broadcast",
     "effective_bandwidth_gbps",
     "hierarchical_all_reduce",
     "ring_all_reduce",
+    "run_ring_all_reduce",
     "transfer_time_ns",
     "tree_all_reduce",
+    "wire_bytes",
 ]

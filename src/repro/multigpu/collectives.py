@@ -15,6 +15,11 @@ from typing import Dict, Sequence
 from .. import units
 from .links import LinkSecurity, MultiGPUNode, transfer_time_ns
 
+# Element-wise reduction throughput of the ring reduce-scatter half
+# (~1.5 TB/s of HBM-bound adds); shared with the executable collective
+# path in :mod:`repro.multigpu.session` so both agree to the nanosecond.
+RING_REDUCE_NS_PER_BYTE: float = 1.0 / (1500.0 * units.GB) * units.NS_PER_SEC
+
 
 @dataclass(frozen=True)
 class CollectiveResult:
@@ -34,7 +39,7 @@ def ring_all_reduce(
     node: MultiGPUNode,
     size_bytes: int,
     security: LinkSecurity,
-    reduce_ns_per_byte: float = 1.0 / (1500.0 * units.GB) * units.NS_PER_SEC,
+    reduce_ns_per_byte: float = RING_REDUCE_NS_PER_BYTE,
 ) -> CollectiveResult:
     """Ring all-reduce of ``size_bytes`` per GPU.
 
@@ -66,7 +71,7 @@ def tree_all_reduce(
     node: MultiGPUNode,
     size_bytes: int,
     security: LinkSecurity,
-    reduce_ns_per_byte: float = 1.0 / (1500.0 * units.GB) * units.NS_PER_SEC,
+    reduce_ns_per_byte: float = RING_REDUCE_NS_PER_BYTE,
 ) -> CollectiveResult:
     """Binary-tree all-reduce: reduce up the tree, broadcast down.
 

@@ -45,7 +45,19 @@ from .arrivals import (
     stream_digest,
     tenant_rng,
 )
+from .cluster import (
+    PLACEMENTS,
+    ClusterError,
+    ClusterResult,
+    ClusterSpec,
+    ReplicaOutcome,
+    cluster_verdict,
+    cluster_verdict_json,
+    measure_attestation_ns,
+    run_cluster,
+)
 from .kvpager import KVPager, PagerStats, PreemptPlan, RestorePlan
+from .parallelism import LINK_POLICIES, TP_DEGREES, ParallelismSpec
 from .lifecycle import (
     COMPLETED,
     FAILED,
@@ -103,6 +115,9 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "ArrivalError",
     "COMPLETED",
+    "ClusterError",
+    "ClusterResult",
+    "ClusterSpec",
     "ContinuousBatchingScheduler",
     "DegradationPolicy",
     "EngineOp",
@@ -111,17 +126,22 @@ __all__ = [
     "IterationPlan",
     "KVPager",
     "LengthTrace",
+    "LINK_POLICIES",
     "LifecycleError",
     "LifecycleLedger",
     "NULL_TELEMETRY",
+    "PLACEMENTS",
     "POLICIES",
     "PagerStats",
+    "ParallelismSpec",
     "PreemptPlan",
     "REJECTED",
+    "ReplicaOutcome",
     "RequestAttribution",
     "RequestOutcome",
     "RestorePlan",
     "SERVE_MODEL",
+    "TP_DEGREES",
     "SHED",
     "SHED_POLICIES",
     "SLOTargets",
@@ -138,13 +158,17 @@ __all__ = [
     "TenantSpec",
     "attribute_requests",
     "build_report",
+    "cluster_verdict",
+    "cluster_verdict_json",
     "component_timeline",
     "default_tenants",
     "fault_plan_summary",
     "forensics_diff",
     "generate_arrivals",
     "latency_percentiles",
+    "measure_attestation_ns",
     "parse_duration_ns",
+    "run_cluster",
     "pick_percentile_request",
     "predicted_step_cc_overhead_ns",
     "record_telemetry_spans",

@@ -34,6 +34,7 @@ budget (chunked prefill), so even a sequence longer than
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
@@ -46,8 +47,10 @@ from ..faults import BOUNCE_POOL, FatalFault
 from ..faults import SPDM as SPDM_SITE
 from ..llm.backends import VLLM_STEP_SCHED_NS, VLLMBackend
 from ..llm.config import BF16, LlamaConfig, QuantConfig
+from ..multigpu import MultiGPUNode, run_ring_all_reduce
 from ..tdx.spdm import attest_gpu
 from .arrivals import ServeRequest
+from .parallelism import ParallelismSpec
 from .kvpager import KVPager, PreemptPlan, RestorePlan
 from .lifecycle import (
     COMPLETED,
@@ -417,6 +420,7 @@ class ServingEngine:
         block_tokens: int = 16,
         targets: Optional[SLOTargets] = None,
         degrade: Optional[DegradationPolicy] = None,
+        parallelism: Optional[ParallelismSpec] = None,
     ) -> None:
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.scheduler_config.validate()
@@ -427,6 +431,8 @@ class ServingEngine:
         self.targets = targets or SLOTargets()
         self.degrade = degrade or DegradationPolicy()
         self.degrade.validate()
+        self.parallelism = parallelism or ParallelismSpec()
+        self.parallelism.validate()
 
     def run(
         self,
@@ -473,6 +479,27 @@ class ServingEngine:
         scratch_dev = yield from rt.malloc(16 * units.MiB)
         swap_host = yield from rt.malloc_host(SWAP_CHUNK_BYTES)
         swap_dev = yield from rt.malloc(SWAP_CHUNK_BYTES)
+
+        # Model parallelism: a non-trivial spec routes every inter-GPU
+        # transfer through the secure-link substrate (TP ring
+        # all-reduces) and the CC staging bridge (PP activation
+        # handoffs).  The tp=1/pp=1 path allocates nothing and pays
+        # nothing — byte-identical to the single-GPU engine.
+        par = self.parallelism
+        hidden = self.model.hidden_size
+        tp_node = MultiGPUNode(num_gpus=par.tp) if par.tp > 1 else None
+        link_sec = par.link_security(config.cc_on)
+        pp_host = pp_dev = None
+        if par.pp > 1:
+            pp_bytes = max(
+                64 * units.KiB,
+                (self.scheduler_config.max_batch_tokens
+                 + self.scheduler_config.max_num_seqs) * hidden * 2,
+            )
+            pp_host = yield from rt.malloc_host(pp_bytes)
+            pp_dev = yield from rt.malloc(pp_bytes)
+        tp_comm_ns = 0
+        pp_comm_ns = 0
 
         pending = sorted(requests, key=lambda r: (r.arrival_ns, r.req_id))
         index = 0
@@ -641,6 +668,49 @@ class ServingEngine:
                 yield from paid(lambda s=size: rt.memcpy(dst, src, s))
                 remaining -= size
 
+        def shard(spec):
+            """Tensor-parallel kernel shard: each rank computes 1/tp of
+            the layer; the all-reduce below pays the sync."""
+            if par.tp <= 1:
+                return spec
+            return dataclasses.replace(
+                spec,
+                name=f"{spec.name}@tp{par.tp}",
+                fixed_duration_ns=max(1, spec.fixed_duration_ns // par.tp),
+            )
+
+        def tp_sync(tokens, ids):
+            """Per-layer activation all-reduces over the secure peer
+            links (two per transformer layer: attention out-proj and
+            MLP down-proj), batched into one collective session."""
+            nonlocal tp_comm_ns
+            comm_start = rt.sim.now
+            with tel.op("tp_comm", ids):
+                yield from paid(lambda: run_ring_all_reduce(
+                    rt.sim,
+                    tp_node,
+                    max(1, tokens * hidden * 2),
+                    link_sec,
+                    count=2 * self.model.num_layers,
+                    guest=rt.guest,
+                    retry=retry,
+                ))
+            tp_comm_ns += rt.sim.now - comm_start
+
+        def pp_bridge(tokens, ids):
+            """Pipeline-stage activation handoffs across the host
+            bridge: each of the pp-1 boundaries stages activations
+            D2H then H2D — under CC both legs cross the serialized
+            bounce-buffer/AES-GCM path."""
+            nonlocal pp_comm_ns
+            act = max(64, tokens * hidden * 2)
+            comm_start = rt.sim.now
+            with tel.op("pp_comm", ids):
+                for _stage in range(par.pp - 1):
+                    yield from paid(lambda: rt.memcpy(pp_host, pp_dev, act))
+                    yield from paid(lambda: rt.memcpy(pp_dev, pp_host, act))
+            pp_comm_ns += rt.sim.now - comm_start
+
         while True:
             now = rt.sim.now
             while index < len(pending) and pending[index].arrival_ns <= now:
@@ -729,18 +799,20 @@ class ServingEngine:
                             scratch_dev, prompt_host, max(prompt_bytes, 64)
                         ))
                 if plan.prefill_tokens:
-                    with tel.op(
-                        "prefill",
-                        tuple(sorted(
-                            {r.req_id for r in plan.admitted}
-                            | set(sched.warming)
-                        )),
-                    ):
-                        yield from paid(lambda: rt.launch(
+                    prefill_ids = tuple(sorted(
+                        {r.req_id for r in plan.admitted}
+                        | set(sched.warming)
+                    ))
+                    with tel.op("prefill", prefill_ids):
+                        yield from paid(lambda: rt.launch(shard(
                             self.backend.prefill_kernel(
                                 config, plan.prefill_tokens
                             )
-                        ))
+                        )))
+                    if tp_node is not None:
+                        yield from tp_sync(plan.prefill_tokens, prefill_ids)
+                    if par.pp > 1:
+                        yield from pp_bridge(plan.prefill_tokens, prefill_ids)
 
                 # Iteration bookkeeping on the guest CPU.
                 with tel.op("sched", resident_ids()):
@@ -752,13 +824,21 @@ class ServingEngine:
                         pager.sequence_length(s) for s in plan.decode_ids
                     ]
                     with tel.op("decode", tuple(plan.decode_ids)):
-                        yield from paid(lambda: rt.launch(
+                        yield from paid(lambda: rt.launch(shard(
                             self.backend.decode_kernel(
                                 config,
                                 len(plan.decode_ids),
                                 float(np.mean(contexts)),
                             )
-                        ))
+                        )))
+                    if tp_node is not None:
+                        yield from tp_sync(
+                            len(plan.decode_ids), tuple(plan.decode_ids)
+                        )
+                    if par.pp > 1:
+                        yield from pp_bridge(
+                            len(plan.decode_ids), tuple(plan.decode_ids)
+                        )
                     with tel.op("token_d2h", tuple(plan.decode_ids)):
                         yield from paid(lambda: rt.memcpy(
                             token_host, scratch_dev, 4 * len(plan.decode_ids)
@@ -824,7 +904,10 @@ class ServingEngine:
         ledger.check_complete()
         yield from rt.synchronize()
         elapsed = rt.sim.now - start
-        for buffer in (prompt_host, token_host, swap_host, scratch_dev, swap_dev):
+        buffers = [prompt_host, token_host, swap_host, scratch_dev, swap_dev]
+        if pp_host is not None:
+            buffers += [pp_host, pp_dev]
+        for buffer in buffers:
             yield from rt.free(buffer)
         stats = {
             "iterations": iterations,
@@ -840,6 +923,14 @@ class ServingEngine:
             "faults_recovery_ns": rt.guest.faults.total_recovery_ns,
             **pager.stats.as_dict(),
         }
+        if not par.trivial:
+            # Keys only appear on parallel engines so the single-GPU
+            # stats dict (and every verdict embedding it) stays
+            # byte-identical to the pre-cluster build.
+            stats["tp_degree"] = par.tp
+            stats["pp_stages"] = par.pp
+            stats["tp_comm_ns"] = tp_comm_ns
+            stats["pp_comm_ns"] = pp_comm_ns
         return EngineResult(
             outcomes=tracker.outcomes,
             rejected=sched.rejected,

@@ -91,6 +91,10 @@ OP_BASE_COMPONENT = {
     "decode": "Q",
     "sched": "D",
     "reattest": "recovery",
+    # Model-parallel communication: TP all-reduces over secure peer
+    # links and PP activation handoffs across the host bridge.
+    "tp_comm": "T",
+    "pp_comm": "T",
 }
 
 

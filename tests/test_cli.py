@@ -277,6 +277,66 @@ def test_serve_rejects_conflicting_fault_flags():
               "--fault-rate", "0.01"])
 
 
+@pytest.mark.parametrize(
+    "flags",
+    [
+        # Degradation flags that used to parse cleanly and then be
+        # silently ignored now exit 2 at parse time.
+        ["--circuit-breaker"],
+        ["--deadline", "100"],
+        ["--ttft-timeout", "50"],
+        ["--shed-policy", "deadline"],
+        ["--max-queue-depth", "8"],
+        ["--shed-policy", "pushback"],
+        # Contradictory cluster topologies.
+        ["--tp", "3"],
+        ["--tp", "4", "--pp", "4"],
+        ["--replicas", "3", "--autoscale-max", "2"],
+        ["--link-policy", "batched"],
+        ["--placement", "kv-affinity"],
+        ["--replicas", "2", "--telemetry"],
+    ],
+)
+def test_serve_rejects_contradictory_flags(flags, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["serve"] + flags)
+    assert exc.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_serve_report_rejects_contradictory_flags(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["serve", "report", "--circuit-breaker"])
+    assert exc.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+# -- the cluster path -------------------------------------------------------
+
+
+def test_serve_cluster_verdict_is_byte_deterministic(tmp_path, capsys):
+    args = ["serve", "--rate", "16", "--duration", "250ms", "--cc",
+            "--replicas", "2", "--placement", "least-loaded"]
+    first = tmp_path / "c1.json"
+    second = tmp_path / "c2.json"
+    assert main(args + ["--verdict", str(first)]) == 0
+    assert main(args + ["--verdict", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+    payload = first.read_text()
+    assert '"command": "serve-cluster"' in payload
+    assert "serve-cluster[cc]" in capsys.readouterr().out
+
+
+def test_serve_cluster_tp_trace_single_replica(tmp_path, capsys):
+    trace_path = tmp_path / "tp.json"
+    assert main(["serve", "--rate", "8", "--duration", "250ms", "--cc",
+                 "--tp", "2", "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "tp=2" in out
+    assert "tp_comm" in out
+    assert trace_path.exists()
+
+
 # -- serving telemetry flags and the report subcommand ---------------------
 
 

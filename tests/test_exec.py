@@ -134,7 +134,7 @@ def test_resolve_cells_exact_and_prefix():
     assert exec_runner.resolve_cells(["fig04"]) == ["fig04a", "fig04b"]
     assert exec_runner.resolve_cells(["fig04", "fig04a"]) == ["fig04a", "fig04b"]
     ext = exec_runner.resolve_cells(["ext"])
-    assert len(ext) == 13 and all(c.startswith("ext_") for c in ext)
+    assert len(ext) == 14 and all(c.startswith("ext_") for c in ext)
 
 
 def test_resolve_cells_unknown_token():

@@ -1,0 +1,200 @@
+"""Cluster-scale serving tests (repro.serve.cluster + parallelism).
+
+Pins the contracts the figure and the CI gates rely on:
+
+* **exact reduction** — a single-replica tp=1/pp=1 cluster produces
+  the same report, engine stats, and elapsed time as
+  :func:`repro.serve.run_scenario`, byte-for-byte (the float-identity
+  invariant: the merged report must keep engine outcome order),
+* verdict JSON byte-determinism across repeated runs,
+* model parallelism: TP all-reduces ride the secure peer links (CC
+  pays more than base, cost grows with degree), PP bridges cross the
+  serialized host bridge, and the stats keys appear only for
+  non-trivial topologies (golden safety),
+* the router: placement policies split load the way they claim, and
+  the autoscaler's scale-up relief arrives *later* under CC because a
+  fresh replica pays a full simulated SPDM attestation first,
+* spec validation and the single-replica-only telemetry restriction.
+"""
+
+import pytest
+
+from repro import units
+from repro.config import SystemConfig
+from repro.serve import (
+    ClusterError,
+    ClusterSpec,
+    ParallelismSpec,
+    ScenarioSpec,
+    cluster_verdict_json,
+    measure_attestation_ns,
+    run_cluster,
+    run_scenario,
+)
+
+NS_PER_SEC = units.NS_PER_SEC
+
+#: Short, busy scenario shared by most tests.
+SHORT = dict(rate_rps=16.0, duration_ns=NS_PER_SEC // 2, seed=7)
+
+
+def _spec(**kw):
+    scenario = ScenarioSpec(**{**SHORT, **kw.pop("scenario", {})})
+    return ClusterSpec(scenario=scenario, **kw)
+
+
+# -- exact reduction ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("config", [
+    SystemConfig.base(), SystemConfig.confidential(),
+], ids=["base", "cc"])
+def test_single_replica_cluster_reduces_to_run_scenario(config):
+    scenario = ScenarioSpec(**SHORT)
+    _, sres = run_scenario(scenario, config)
+    _, cres = run_cluster(ClusterSpec(scenario=scenario), config)
+    assert cres.report == sres.report
+    assert cres.replicas[0].engine.stats == sres.engine.stats
+    assert cres.elapsed_ns == sres.engine.elapsed_ns
+    assert cres.arrival_digest == sres.arrival_digest
+    assert cres.router["ingress_ns"] == 0
+
+
+def test_cluster_verdict_json_is_byte_deterministic():
+    spec = _spec(replicas=2, placement="least-loaded")
+    config = SystemConfig.confidential()
+    payloads = [
+        cluster_verdict_json(run_cluster(spec, config)[1])
+        for _ in range(2)
+    ]
+    assert payloads[0] == payloads[1]
+    assert '"command": "serve-cluster"' in payloads[0]
+
+
+# -- model parallelism -------------------------------------------------------
+
+
+def test_trivial_topology_adds_no_stats_keys():
+    _, result = run_cluster(_spec(), SystemConfig.confidential())
+    stats = result.replicas[0].engine.stats
+    for key in ("tp_degree", "pp_stages", "tp_comm_ns", "pp_comm_ns"):
+        assert key not in stats
+
+
+def test_tp_comm_is_taxed_by_cc_links():
+    comm = {}
+    for mode, config in (
+        ("base", SystemConfig.base()),
+        ("cc", SystemConfig.confidential()),
+    ):
+        _, result = run_cluster(_spec(tp=2), config)
+        stats = result.replicas[0].engine.stats
+        assert stats["tp_degree"] == 2
+        comm[mode] = stats["tp_comm_ns"]
+    assert comm["base"] > 0
+    # Base rides plaintext links; CC pays counter/MAC metadata and the
+    # per-chunk crypto tail on every ring step.
+    assert comm["cc"] > comm["base"]
+
+
+def test_pp_bridge_pays_the_serialized_host_bridge():
+    comm = {}
+    for mode, config in (
+        ("base", SystemConfig.base()),
+        ("cc", SystemConfig.confidential()),
+    ):
+        _, result = run_cluster(_spec(pp=2), config)
+        stats = result.replicas[0].engine.stats
+        assert stats["pp_stages"] == 2
+        comm[mode] = stats["pp_comm_ns"]
+    assert comm["base"] > 0
+    assert comm["cc"] > comm["base"]
+
+
+def test_parallelism_spec_rejects_bad_topologies():
+    with pytest.raises(ValueError):
+        ParallelismSpec(tp=3).validate()
+    with pytest.raises(ValueError):
+        ParallelismSpec(tp=4, pp=4).validate()
+    with pytest.raises(ValueError):
+        ParallelismSpec(link_policy="quantum").validate()
+
+
+# -- the router --------------------------------------------------------------
+
+
+def test_round_robin_splits_load_evenly():
+    _, result = run_cluster(
+        _spec(replicas=3), SystemConfig.base()
+    )
+    counts = result.router["replica_requests"]
+    assert sorted(counts) == ["0", "1", "2"]
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_kv_affinity_pins_tenants_until_overload():
+    spec = _spec(
+        replicas=3, placement="kv-affinity",
+        scenario=dict(tenants=2),
+    )
+    _, result = run_cluster(spec, SystemConfig.base())
+    counts = result.router["replica_requests"]
+    # Two tenants over three replicas: stickiness leaves at least one
+    # replica idle unless overload forced a spill.
+    if result.router["affinity_spills"] == 0:
+        assert min(counts.values()) == 0
+    assert sum(counts.values()) == result.requests
+
+
+def test_router_ingress_is_pricier_under_cc():
+    base = run_cluster(_spec(replicas=2), SystemConfig.base())[1]
+    cc = run_cluster(_spec(replicas=2), SystemConfig.confidential())[1]
+    # CC placement pays a TD transition on top of the router work.
+    assert cc.router["ingress_ns"] > base.router["ingress_ns"]
+
+
+def test_autoscaler_relief_is_slower_under_cc():
+    ready = {}
+    for mode, config in (
+        ("base", SystemConfig.base()),
+        ("cc", SystemConfig.confidential()),
+    ):
+        spec = _spec(
+            replicas=1, autoscale_max=3, placement="least-loaded",
+            scenario=dict(rate_rps=32.0, duration_ns=2 * NS_PER_SEC,
+                          seed=42),
+        )
+        _, result = run_cluster(spec, config)
+        ups = [e for e in result.router["autoscale_events"]
+               if e["action"] == "scale-up"]
+        assert ups, f"{mode}: overload never triggered a scale-up"
+        ready[mode] = ups[0]["ready_ms"] - ups[0]["at_ms"]
+        assert result.router["replicas_final"] > 1
+    assert measure_attestation_ns(SystemConfig.confidential()) > \
+        measure_attestation_ns(SystemConfig.base())
+    assert ready["cc"] > ready["base"]
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ClusterError):
+        _spec(replicas=0).validate()
+    with pytest.raises(ClusterError):
+        _spec(placement="random").validate()
+    with pytest.raises(ClusterError):
+        _spec(replicas=3, autoscale_max=2).validate()
+    with pytest.raises(ValueError):
+        _spec(tp=5).validate()
+
+
+def test_telemetry_requires_single_replica():
+    with pytest.raises(ClusterError):
+        run_cluster(_spec(replicas=2), SystemConfig.base(),
+                    telemetry=True)
+    # Single replica with a non-trivial topology is fine.
+    _, result = run_cluster(
+        _spec(tp=2), SystemConfig.confidential(), telemetry=True
+    )
+    assert result.attributions
