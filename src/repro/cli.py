@@ -238,7 +238,8 @@ def _figures_module():
 
 def cmd_figures(args) -> int:
     from .figures import (ext_cluster_serving, ext_fault_serving,
-                          ext_serve_telemetry, ext_serving, extensions)
+                          ext_recovered_serving, ext_serve_telemetry,
+                          ext_serving, extensions)
 
     def _ext_result(ext_name):
         # The serving-family extensions live in their own modules
@@ -252,10 +253,12 @@ def cmd_figures(args) -> int:
             return ext_serve_telemetry.generate_serve_telemetry()
         if ext_name == "cluster_serving":
             return ext_cluster_serving.generate_cluster_serving()
+        if ext_name == "recovered_serving":
+            return ext_recovered_serving.generate_recovered()
         return getattr(extensions, f"generate_{ext_name}")()
 
     serve_family = ("serving", "fault_serving", "serve_telemetry",
-                    "cluster_serving")
+                    "cluster_serving", "recovered_serving")
     names = args.ids or sorted(_FAST_FIGURES)
     for name in names:
         if name in _FAST_FIGURES:
@@ -278,6 +281,70 @@ def cmd_figures(args) -> int:
             return 2
         print(result.to_text())
         print(f"[saved] {result.save(args.out)}\n")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """``repro tune``: Pareto auto-tuner over CC-mitigation pipelines.
+
+    Enumerates a deterministic pass x config grid, runs every point
+    through the content-addressed exec cache (resumable; parallel via
+    ``--jobs``) and prints the Pareto frontier over (goodput, TTFT
+    p99, CC overhead ratio) with claw-back attribution.
+    """
+    from .serve import parse_duration_ns
+    from .tune import (
+        FAMILY_ORDER,
+        TuneError,
+        TuneSpec,
+        render_pareto_table,
+        run_tune,
+        tune_verdict_json,
+    )
+
+    families = tuple(
+        token.strip() for token in args.passes.split(",") if token.strip()
+    ) if args.passes else FAMILY_ORDER
+    try:
+        duration_s = parse_duration_ns(args.duration) / units.NS_PER_SEC
+        spec = TuneSpec(
+            families=families,
+            grid=args.grid,
+            rate=args.rate,
+            duration_s=duration_s,
+            tenants=args.tenants,
+            seed=args.seed,
+        )
+        report = run_tune(
+            spec,
+            jobs=args.jobs,
+            results_dir=args.out,
+            cache_dir=args.cache_dir or None,
+            force=args.force,
+            use_cache=not args.no_cache,
+        )
+    except (TuneError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    grid_report = report.grid_report
+    print(
+        f"tune[{spec.grid}] rate={spec.rate:g} rps, "
+        f"{len(report.points)} pipelines over {'+'.join(spec.families)} "
+        f"({grid_report.stats.hits} cached, "
+        f"{len(grid_report.executed)} simulated)"
+    )
+    print(render_pareto_table(report))
+    payload = tune_verdict_json(report)
+    if args.verdict:
+        with open(args.verdict, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"verdict -> {args.verdict}")
+    if args.pareto_out:
+        with open(args.pareto_out, "w") as handle:
+            handle.write(render_pareto_table(report) + "\n")
+        print(f"pareto table -> {args.pareto_out}")
+    if args.json:
+        print(payload)
     return 0
 
 
@@ -1165,6 +1232,68 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print the forensics report as JSON")
     sreport_p.set_defaults(_serve_parser=sreport_p)
 
+    tune_p = sub.add_parser(
+        "tune",
+        help="auto-tune CC-mitigation pass pipelines (Pareto search)",
+    )
+    tune_p.add_argument(
+        "--passes", default="", metavar="FAMILIES",
+        help="comma-separated pass families to search "
+             "(default: fusion,overlap,batch,staging,quant)",
+    )
+    tune_p.add_argument(
+        "--grid", choices=("small", "full"), default="small",
+        help="config candidates per family (small: one each; "
+             "full: widened numeric knobs)",
+    )
+    tune_p.add_argument(
+        "--figure", choices=("ext_recovered_serving",),
+        default="ext_recovered_serving",
+        help="figure family providing the sweep cells",
+    )
+    tune_p.add_argument(
+        "--rate", type=_positive_float, default=24.0, metavar="RPS",
+        help="offered arrival rate to tune at (default 24)",
+    )
+    tune_p.add_argument(
+        "--duration", default="2s", metavar="DUR",
+        help="scenario duration, e.g. 2s or 500ms (default 2s)",
+    )
+    tune_p.add_argument(
+        "--tenants", type=_positive_int, default=2, metavar="N",
+    )
+    tune_p.add_argument(
+        "--seed", type=_nonneg_int, default=42, metavar="N",
+    )
+    tune_p.add_argument("--jobs", type=_positive_int, default=1, metavar="N")
+    tune_p.add_argument(
+        "--out", default=os.path.join("results", "tune"), metavar="DIR",
+        help="per-point output dir (default results/tune)",
+    )
+    tune_p.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="content-addressed cache (default results/.cache, shared "
+             "with 'repro run')",
+    )
+    tune_p.add_argument(
+        "--force", action="store_true",
+        help="recompute every point, refreshing cache entries",
+    )
+    tune_p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the cache entirely (no reads, no writes)",
+    )
+    tune_p.add_argument(
+        "--pareto-out", default="", metavar="PATH",
+        help="also write the Pareto table to PATH (CI artifact)",
+    )
+    tune_p.add_argument(
+        "--verdict", default="", metavar="PATH",
+        help="write the byte-deterministic tune verdict JSON to PATH",
+    )
+    tune_p.add_argument("--json", action="store_true",
+                        help="print the verdict JSON to stdout")
+
     trace_p = sub.add_parser(
         "trace", help="export / summarize / diff observability traces"
     )
@@ -1322,6 +1451,7 @@ _COMMANDS = {
     "report": cmd_report,
     "check": cmd_check,
     "serve": cmd_serve,
+    "tune": cmd_tune,
     "trace": cmd_trace,
     "analyze": cmd_analyze,
     "whatif": cmd_whatif,

@@ -647,6 +647,18 @@ class CudaRuntime:
         self._streams.append(stream)
         return stream
 
+    def stream_wait_event(self, stream: Stream, event: Optional[Event]) -> None:
+        """cudaStreamWaitEvent: order future work on ``stream`` after
+        ``event``.  Pure dependency bookkeeping — costs nothing on the
+        calling thread.  The stream model keeps a single predecessor
+        (its tail), so an already-satisfied event is a no-op and an
+        outstanding one replaces the tail; copy/launch commands on the
+        engine queues still serialize per engine, which covers the
+        multi-predecessor cases this simplification drops.
+        """
+        if event is not None and not event.processed:
+            stream.tail = event
+
     def cpu_gap(self, duration_ns: int) -> Generator:
         """Application think time between API calls (loop bookkeeping)."""
         yield from self.guest.cpu_work(duration_ns)

@@ -103,6 +103,7 @@ GRID: Dict[str, CellSpec] = _cells(
     CellSpec("ext_fault_serving", "ext_fault_serving", slow=True),
     CellSpec("ext_serve_telemetry", "ext_serve_telemetry", slow=True),
     CellSpec("ext_cluster_serving", "ext_cluster_serving", slow=True),
+    CellSpec("ext_recovered_serving", "ext_recovered_serving", slow=True),
     # Harness self-test hook: a cell that always raises, so tests can
     # assert one crashing cell doesn't poison the pool.
     CellSpec("selftest_boom", "", variant="boom", hidden=True),

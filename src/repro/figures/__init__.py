@@ -8,6 +8,7 @@ from .common import FigureResult, default_results_dir
 from . import (
     ext_cluster_serving,
     ext_fault_serving,
+    ext_recovered_serving,
     ext_serve_telemetry,
     ext_serving,
     extensions,
@@ -33,6 +34,7 @@ __all__ = [
     "default_results_dir",
     "ext_cluster_serving",
     "ext_fault_serving",
+    "ext_recovered_serving",
     "ext_serve_telemetry",
     "ext_serving",
     "extensions",

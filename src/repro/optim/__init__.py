@@ -1,7 +1,12 @@
 """Optimizations the paper evaluates against CC overheads
 (Sec. VII-A): kernel/launch fusion and copy/compute overlap.
 Quantization (the third mitigation) lives with its workloads in
-:mod:`repro.dnn` (AMP/FP16) and :mod:`repro.llm` (AWQ)."""
+:mod:`repro.dnn` (AMP/FP16) and :mod:`repro.llm` (AWQ).
+
+:mod:`repro.optim.passes` composes these mitigations into validated,
+ordered :class:`~repro.optim.passes.PassPipeline` transforms over
+serving scenarios — the policy layer the ``repro tune`` auto-tuner
+(:mod:`repro.tune`) searches over."""
 
 from .fusion import (
     FusionPlan,
@@ -11,13 +16,37 @@ from .fusion import (
     sweep_graph_batches,
 )
 from .overlap import OverlapPlan, compute_to_io_ratio, sweep_streams
+from .passes import (
+    PASS_FAMILIES,
+    QUANT_ACCURACY_DROP_PCT,
+    BatchedTokenDownloadPass,
+    CopyOverlapPass,
+    KernelFusionPass,
+    MitigationPass,
+    PassError,
+    PassPipeline,
+    QuantizationPass,
+    StagingReusePass,
+    parse_pipeline,
+)
 
 __all__ = [
+    "BatchedTokenDownloadPass",
+    "CopyOverlapPass",
     "FusionPlan",
+    "KernelFusionPass",
+    "MitigationPass",
     "OverlapPlan",
+    "PASS_FAMILIES",
+    "PassError",
+    "PassPipeline",
+    "QUANT_ACCURACY_DROP_PCT",
+    "QuantizationPass",
+    "StagingReusePass",
     "best_fusion_level",
     "compute_to_io_ratio",
     "graph_fusion_time",
+    "parse_pipeline",
     "sweep_fusion_levels",
     "sweep_graph_batches",
     "sweep_streams",

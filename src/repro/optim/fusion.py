@@ -15,6 +15,7 @@ CUDA graphs instead of source-level kernel fusion.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
@@ -23,6 +24,33 @@ from ..config import SystemConfig
 from ..cuda import run_app
 from ..gpu import nanosleep_kernel
 from ..workloads.microbench import fusion_sweep_app
+
+
+def _check_duration(name: str, value) -> None:
+    """Durations must be positive finite numbers — a NaN/inf KET would
+    silently poison every simulated span downstream."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"{name} must be a positive finite duration in ns, "
+            f"got {value!r}"
+        )
+
+
+def _check_counts(name: str, counts: Sequence[int]) -> None:
+    """Sweep axes must be non-empty sequences of positive ints."""
+    if not counts:
+        raise ValueError(f"{name} must be non-empty")
+    for count in counts:
+        if (
+            not isinstance(count, int)
+            or isinstance(count, bool)
+            or count <= 0
+        ):
+            raise ValueError(
+                f"{name} entries must be positive ints, got {count!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -46,6 +74,8 @@ def sweep_fusion_levels(
     launch_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
 ) -> FusionPlan:
     """Measure end-to-end time for each fusion level."""
+    _check_duration("total_ket_ns", total_ket_ns)
+    _check_counts("launch_counts", launch_counts)
     levels: Dict[int, int] = {}
     for count in launch_counts:
         trace, _ = run_app(
@@ -83,6 +113,9 @@ def graph_fusion_time(
 ) -> int:
     """End-to-end time for an iterative app with cudaGraph launch
     fusion at the given batching level (3dconv-style, Sec. VII-A)."""
+    _check_duration("per_kernel_ns", per_kernel_ns)
+    _check_counts("num_launches", (num_launches,))
+    _check_counts("graph_batch", (graph_batch,))
     trace, _ = run_app(
         _graph_app,
         config,
@@ -100,6 +133,9 @@ def sweep_graph_batches(
     batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
 ) -> Dict[int, int]:
     """Graph-batch size -> end-to-end ns (the Ekelund-style optimum)."""
+    _check_duration("per_kernel_ns", per_kernel_ns)
+    _check_counts("num_launches", (num_launches,))
+    _check_counts("batches", batches)
     return {
         batch: graph_fusion_time(config, num_launches, per_kernel_ns, batch)
         for batch in batches

@@ -14,6 +14,7 @@ from ..config import SystemConfig
 from ..core import decompose
 from ..cuda import run_app
 from ..workloads.microbench import overlap_app
+from .fusion import _check_counts, _check_duration
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,9 @@ def sweep_streams(
     stream_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
 ) -> OverlapPlan:
     """Measure achieved alpha (hidden copy fraction) per stream count."""
+    _check_duration("ket_ns", ket_ns)
+    _check_counts("total_bytes", (total_bytes,))
+    _check_counts("stream_counts", stream_counts)
     alphas: Dict[int, float] = {}
     times: Dict[int, int] = {}
     for streams in stream_counts:

@@ -89,6 +89,13 @@ from .scheduler import (
     SERVE_MODEL,
 )
 from .slo import RequestOutcome, SLOTargets, SLOTracker, build_report
+from .tuning import (
+    KV_BITS_CHOICES,
+    MAX_D2H_STREAMS,
+    MAX_FLUSH_EVERY,
+    EngineTuning,
+    TuningError,
+)
 from .telemetry import (
     ATTRIBUTION_COMPONENTS,
     EngineOp,
@@ -122,7 +129,11 @@ __all__ = [
     "DegradationPolicy",
     "EngineOp",
     "EngineResult",
+    "EngineTuning",
     "FAILED",
+    "KV_BITS_CHOICES",
+    "MAX_D2H_STREAMS",
+    "MAX_FLUSH_EVERY",
     "IterationPlan",
     "KVPager",
     "LengthTrace",
@@ -156,6 +167,7 @@ __all__ = [
     "TRACES",
     "TelemetryError",
     "TenantSpec",
+    "TuningError",
     "attribute_requests",
     "build_report",
     "cluster_verdict",

@@ -37,6 +37,7 @@ from .scheduler import (
     ServingEngine,
 )
 from .slo import SLOTargets, build_report
+from .tuning import EngineTuning
 from .telemetry import (
     RequestAttribution,
     ServeTelemetry,
@@ -148,6 +149,7 @@ def run_scenario(
     spec: ScenarioSpec,
     config: Optional[SystemConfig] = None,
     telemetry: bool = False,
+    tuning: Optional[EngineTuning] = None,
 ):
     """Run one scenario; returns ``(trace, ScenarioResult)``.
 
@@ -157,6 +159,13 @@ def run_scenario(
     run *parameter*, not part of :class:`ScenarioSpec`: the spec (and
     therefore the verdict JSON, which embeds it) is identical either
     way — the zero-perturbation invariant.
+
+    ``tuning`` follows the same pattern for the CC-mitigation layer:
+    it is a run parameter, the spec stays untouched, and the default
+    (``None`` — a trivial :class:`~repro.serve.tuning.EngineTuning`)
+    reproduces the committed verdict bytes exactly.  Non-trivial
+    tunings change engine costs (that is their point) and surface
+    themselves under the verdict's ``engine`` stats.
     """
     config = config or SystemConfig.base()
     requests = generate_arrivals(
@@ -168,6 +177,7 @@ def run_scenario(
         block_tokens=spec.block_tokens,
         targets=spec.slo_targets(),
         degrade=spec.degrade(),
+        tuning=tuning,
     )
     tel = ServeTelemetry() if telemetry else None
     trace, result = engine.run(

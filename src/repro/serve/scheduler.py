@@ -46,7 +46,7 @@ from ..cuda import CudaRuntime, run_app
 from ..faults import BOUNCE_POOL, FatalFault
 from ..faults import SPDM as SPDM_SITE
 from ..llm.backends import VLLM_STEP_SCHED_NS, VLLMBackend
-from ..llm.config import BF16, LlamaConfig, QuantConfig
+from ..llm.config import BF16, QUANTS, LlamaConfig, QuantConfig
 from ..multigpu import MultiGPUNode, run_ring_all_reduce
 from ..tdx.spdm import attest_gpu
 from .arrivals import ServeRequest
@@ -62,6 +62,7 @@ from .lifecycle import (
 )
 from .slo import RequestOutcome, SLOTargets, SLOTracker
 from .telemetry import NULL_TELEMETRY, ServeTelemetry
+from .tuning import EngineTuning
 
 POLICIES = ("fcfs", "spf")
 
@@ -421,9 +422,15 @@ class ServingEngine:
         targets: Optional[SLOTargets] = None,
         degrade: Optional[DegradationPolicy] = None,
         parallelism: Optional[ParallelismSpec] = None,
+        tuning: Optional[EngineTuning] = None,
     ) -> None:
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.scheduler_config.validate()
+        self.tuning = tuning or EngineTuning()
+        self.tuning.validate()
+        if self.tuning.quant != BF16.name:
+            # The quantization mitigation overrides the backend quant.
+            quant = QUANTS[self.tuning.quant]
         self.model = model or SERVE_MODEL
         self.backend = VLLMBackend(model=self.model, quant=quant)
         self.kv_budget_bytes = kv_budget_bytes
@@ -464,10 +471,11 @@ class ServingEngine:
         degrade = self.degrade
         retry = config.retry
         faults_on = config.faults.active
+        tun = self.tuning
         pager = KVPager(
             self.kv_budget_bytes,
             self.block_tokens,
-            self.model.kv_bytes_per_token(),
+            self.model.kv_bytes_per_token(tun.kv_bits),
             mode=self.scheduler_config.preemption,
         )
         sched = ContinuousBatchingScheduler(self.scheduler_config, pager)
@@ -479,6 +487,29 @@ class ServingEngine:
         scratch_dev = yield from rt.malloc(16 * units.MiB)
         swap_host = yield from rt.malloc_host(SWAP_CHUNK_BYTES)
         swap_dev = yield from rt.malloc(SWAP_CHUNK_BYTES)
+
+        # Mitigation knobs (repro.serve.tuning).  Every tuned path
+        # below is gated so a trivial tuning executes the exact
+        # pre-tuning call sequence — byte-identical verdicts.
+        fuse_steps = tun.fuse_step_kernels
+        flush_every = tun.token_flush_every
+        overlap_d2h = tun.d2h_streams > 1
+        batched_flush = flush_every > 1 or overlap_d2h
+        swap_in_host = swap_host
+        if tun.split_swap_staging:
+            # Direction-stable KV-swap staging: a dedicated swap-in
+            # buffer means neither pinned bounce buffer ever flips
+            # transfer direction, so the per-flip page conversion is
+            # paid once instead of per preemption/restore cycle.
+            swap_in_host = yield from rt.malloc_host(SWAP_CHUNK_BYTES)
+        d2h_stream = None
+        token_bufs = [token_host]
+        if overlap_d2h:
+            d2h_stream = rt.create_stream()
+            for _ in range(tun.d2h_streams - 1):
+                token_bufs.append(
+                    (yield from rt.malloc_host(64 * units.KiB))
+                )
 
         # Model parallelism: a non-trivial spec routes every inter-GPU
         # transfer through the secure-link substrate (TP ring
@@ -513,6 +544,16 @@ class ServingEngine:
         engine_retries = 0
         retry_pressure = False
         breaker_open = False
+        # Batched/overlapped token-flush state (inert when trivial).
+        pending_tokens = 0
+        pending_ids: set = set()
+        pending_first: List[int] = []
+        pending_done: List[int] = []
+        steps_since_flush = 0
+        inflight: List = []  # (done event, firsts, dones) per async flush
+        flush_buf = 0
+        token_flushes = 0
+        fused_launches = 0
 
         queue_gauge = metrics.gauge("serve.queue_depth")
         kv_gauge = metrics.gauge("serve.kv_used_blocks")
@@ -573,6 +614,92 @@ class ServingEngine:
                         exc.site, backoff_start, attempt, "engine-retry"
                     )
                     attempt += 1
+
+        def deliver(when, firsts, dones):
+            """Client-visible token delivery: stamp first tokens and
+            record completions.  On the un-tuned path this runs right
+            after each step's token D2H; batched/overlapped flushes
+            defer it to the flush's host-sync point."""
+            for sid in firsts:
+                first_token.setdefault(sid, when)
+            for sid in dones:
+                request = sched.requests[sid]
+                ledger.finish(sid, COMPLETED)
+                tracker.observe(
+                    RequestOutcome(
+                        req_id=sid,
+                        tenant=request.tenant,
+                        arrival_ns=request.arrival_ns,
+                        first_token_ns=first_token[sid],
+                        finish_ns=when,
+                        prompt_tokens=request.prompt_tokens,
+                        gen_tokens=request.gen_tokens,
+                        preemptions=sched.preempt_counts.get(sid, 0),
+                    )
+                )
+
+        def drain_inflight_one():
+            """Host-sync the oldest outstanding async token flush."""
+            event, firsts, dones = inflight.pop(0)
+            if not event.processed:
+                yield event
+            deliver(rt.sim.now, firsts, dones)
+
+        def flush_tokens():
+            """Pay one coalesced token D2H for every decode step since
+            the last flush (fewer encrypted bridge transits), then
+            deliver the deferred records — immediately on the blocking
+            path, at buffer-reuse/drain time on the overlapped path."""
+            nonlocal pending_tokens, steps_since_flush, flush_buf
+            nonlocal token_flushes
+            if not pending_tokens:
+                return
+            ids = tuple(sorted(pending_ids))
+            size = 4 * pending_tokens
+            if overlap_d2h:
+                while len(inflight) >= len(token_bufs):
+                    yield from drain_inflight_one()
+                buf = token_bufs[flush_buf % len(token_bufs)]
+                flush_buf += 1
+                # The flush DMA orders after this iteration's decode
+                # kernel on the compute stream; the synchronous CPU
+                # staging/crypto leg is paid inline regardless (single
+                # OpenSSL worker under CC).
+                rt.stream_wait_event(d2h_stream, rt.default_stream.tail)
+                with tel.op("token_d2h", ids):
+                    done = yield from paid(lambda: rt.memcpy_async(
+                        buf, scratch_dev, d2h_stream, size
+                    ))
+                inflight.append(
+                    (done, list(pending_first), list(pending_done))
+                )
+            else:
+                with tel.op("token_d2h", ids):
+                    yield from paid(lambda: rt.memcpy(
+                        token_host, scratch_dev, size
+                    ))
+                deliver(rt.sim.now, list(pending_first), list(pending_done))
+            token_flushes += 1
+            pending_first.clear()
+            pending_done.clear()
+            pending_ids.clear()
+            pending_tokens = 0
+            steps_since_flush = 0
+
+        def abandon_pending(when):
+            """Crash/give-up path: the engine stops paying copies, but
+            every device-complete token delivery must still be
+            accounted (the ledger's exactly-once guarantee)."""
+            nonlocal pending_tokens, steps_since_flush
+            for _event, firsts, dones in inflight:
+                deliver(when, firsts, dones)
+            inflight.clear()
+            deliver(when, pending_first, pending_done)
+            pending_first.clear()
+            pending_done.clear()
+            pending_ids.clear()
+            pending_tokens = 0
+            steps_since_flush = 0
 
         def resident_ids():
             """Requests currently paying engine costs (telemetry tags).
@@ -639,6 +766,8 @@ class ServingEngine:
             cause — nothing is silently dropped."""
             nonlocal index
             when = rt.sim.now
+            if batched_flush:
+                abandon_pending(when)
             for request in list(sched.waiting):
                 terminal(request, FAILED, cause, when)
             sched.waiting.clear()
@@ -785,7 +914,7 @@ class ServingEngine:
                         swap_counter.inc(restore.swap_bytes)
                         with tel.op("swap_in", (restore.seq_id,)):
                             yield from chunked_copy(
-                                swap_dev, swap_host, restore.swap_bytes
+                                swap_dev, swap_in_host, restore.swap_bytes
                             )
                 if plan.admitted:
                     prompt_bytes = sum(
@@ -798,21 +927,34 @@ class ServingEngine:
                         yield from paid(lambda: rt.memcpy(
                             scratch_dev, prompt_host, max(prompt_bytes, 64)
                         ))
+                # Kernel fusion (Observation 7): a mixed iteration
+                # (prefill + decode) launches ONE fused kernel below,
+                # paying the CC launch tax — and, on parallel engines,
+                # the collective session — once instead of twice.
+                fuse_now = bool(
+                    fuse_steps and plan.prefill_tokens and plan.decode_ids
+                )
+                prefill_ids = ()
                 if plan.prefill_tokens:
                     prefill_ids = tuple(sorted(
                         {r.req_id for r in plan.admitted}
                         | set(sched.warming)
                     ))
-                    with tel.op("prefill", prefill_ids):
-                        yield from paid(lambda: rt.launch(shard(
-                            self.backend.prefill_kernel(
-                                config, plan.prefill_tokens
+                    if not fuse_now:
+                        with tel.op("prefill", prefill_ids):
+                            yield from paid(lambda: rt.launch(shard(
+                                self.backend.prefill_kernel(
+                                    config, plan.prefill_tokens
+                                )
+                            )))
+                        if tp_node is not None:
+                            yield from tp_sync(
+                                plan.prefill_tokens, prefill_ids
                             )
-                        )))
-                    if tp_node is not None:
-                        yield from tp_sync(plan.prefill_tokens, prefill_ids)
-                    if par.pp > 1:
-                        yield from pp_bridge(plan.prefill_tokens, prefill_ids)
+                        if par.pp > 1:
+                            yield from pp_bridge(
+                                plan.prefill_tokens, prefill_ids
+                            )
 
                 # Iteration bookkeeping on the guest CPU.
                 with tel.op("sched", resident_ids()):
@@ -823,44 +965,75 @@ class ServingEngine:
                     contexts = [
                         pager.sequence_length(s) for s in plan.decode_ids
                     ]
-                    with tel.op("decode", tuple(plan.decode_ids)):
-                        yield from paid(lambda: rt.launch(shard(
-                            self.backend.decode_kernel(
-                                config,
-                                len(plan.decode_ids),
-                                float(np.mean(contexts)),
-                            )
-                        )))
-                    if tp_node is not None:
-                        yield from tp_sync(
-                            len(plan.decode_ids), tuple(plan.decode_ids)
+                    step_spec = self.backend.decode_kernel(
+                        config,
+                        len(plan.decode_ids),
+                        float(np.mean(contexts)),
+                    )
+                    step_ids = tuple(plan.decode_ids)
+                    sync_tokens = len(plan.decode_ids)
+                    if fuse_now:
+                        fused_launches += 1
+                        prefill_spec = self.backend.prefill_kernel(
+                            config, plan.prefill_tokens
                         )
-                    if par.pp > 1:
-                        yield from pp_bridge(
-                            len(plan.decode_ids), tuple(plan.decode_ids)
+                        # One fused super-kernel: both rooflines run
+                        # back to back, one kernel prologue instead of
+                        # two, one launch path, one collective.
+                        step_spec = dataclasses.replace(
+                            step_spec,
+                            name=f"fused_step_{self.backend.quant.name}",
+                            fixed_duration_ns=max(
+                                1,
+                                step_spec.fixed_duration_ns
+                                + prefill_spec.fixed_duration_ns
+                                - config.gpu.kernel_fixed_ns,
+                            ),
                         )
-                    with tel.op("token_d2h", tuple(plan.decode_ids)):
-                        yield from paid(lambda: rt.memcpy(
-                            token_host, scratch_dev, 4 * len(plan.decode_ids)
+                        step_ids = tuple(sorted(
+                            set(prefill_ids) | set(plan.decode_ids)
                         ))
-                    step_end = rt.sim.now
-                    for sid in plan.decode_ids:
-                        first_token.setdefault(sid, step_end)
-                    for sid in sched.finish_step(plan.decode_ids):
-                        request = sched.requests[sid]
-                        ledger.finish(sid, COMPLETED)
-                        tracker.observe(
-                            RequestOutcome(
-                                req_id=sid,
-                                tenant=request.tenant,
-                                arrival_ns=request.arrival_ns,
-                                first_token_ns=first_token[sid],
-                                finish_ns=step_end,
-                                prompt_tokens=request.prompt_tokens,
-                                gen_tokens=request.gen_tokens,
-                                preemptions=sched.preempt_counts.get(sid, 0),
-                            )
+                        sync_tokens = (
+                            plan.prefill_tokens + len(plan.decode_ids)
                         )
+                    with tel.op(
+                        "fused_step" if fuse_now else "decode", step_ids
+                    ):
+                        yield from paid(
+                            lambda: rt.launch(shard(step_spec))
+                        )
+                    if tp_node is not None:
+                        yield from tp_sync(sync_tokens, step_ids)
+                    if par.pp > 1:
+                        yield from pp_bridge(sync_tokens, step_ids)
+                    if not batched_flush:
+                        with tel.op("token_d2h", tuple(plan.decode_ids)):
+                            yield from paid(lambda: rt.memcpy(
+                                token_host, scratch_dev,
+                                4 * len(plan.decode_ids),
+                            ))
+                        step_end = rt.sim.now
+                        for sid in plan.decode_ids:
+                            first_token.setdefault(sid, step_end)
+                        deliver(
+                            step_end, (), sched.finish_step(plan.decode_ids)
+                        )
+                    else:
+                        steps_since_flush += 1
+                        pending_tokens += len(plan.decode_ids)
+                        pending_ids.update(plan.decode_ids)
+                        pending_first.extend(plan.decode_ids)
+                        pending_done.extend(
+                            sched.finish_step(plan.decode_ids)
+                        )
+                if batched_flush and pending_tokens and (
+                    steps_since_flush >= flush_every
+                    or not sched.has_work()
+                ):
+                    yield from flush_tokens()
+                if batched_flush and inflight and not sched.has_work():
+                    while inflight:
+                        yield from drain_inflight_one()
                 kv_gauge.set(pager.cache.used_blocks)
                 running_gauge.set(len(sched.running))
                 retry_pressure = engine_retries > retries_before
@@ -872,6 +1045,11 @@ class ServingEngine:
                 restarts += 1
                 metrics.counter("serve.engine_crashes").inc()
                 crash_start = rt.sim.now
+                if batched_flush:
+                    # Tokens already generated on-device are delivered
+                    # at crash time; their requests left the scheduler
+                    # at finish_step and only the flush was pending.
+                    abandon_pending(crash_start)
                 sched.crash_recover()
                 first_token_keep = {
                     sid: first_token[sid]
@@ -907,6 +1085,9 @@ class ServingEngine:
         buffers = [prompt_host, token_host, swap_host, scratch_dev, swap_dev]
         if pp_host is not None:
             buffers += [pp_host, pp_dev]
+        if swap_in_host is not swap_host:
+            buffers.append(swap_in_host)
+        buffers += token_bufs[1:]
         for buffer in buffers:
             yield from rt.free(buffer)
         stats = {
@@ -931,6 +1112,12 @@ class ServingEngine:
             stats["pp_stages"] = par.pp
             stats["tp_comm_ns"] = tp_comm_ns
             stats["pp_comm_ns"] = pp_comm_ns
+        if not tun.trivial:
+            # Same pattern as the parallelism keys: tuned engines grow
+            # stats, trivial ones keep the committed verdict bytes.
+            stats["tuning"] = tun.describe()
+            stats["tuning_fused_launches"] = fused_launches
+            stats["tuning_token_flushes"] = token_flushes
         return EngineResult(
             outcomes=tracker.outcomes,
             rejected=sched.rejected,

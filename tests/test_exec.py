@@ -96,6 +96,82 @@ def test_harness_edit_does_not_invalidate(monkeypatch):
     assert fingerprint.package_fingerprint() == before
 
 
+def _with_edit(monkeypatch, suffix):
+    """Monkeypatch the source reader to append bytes to files whose
+    path ends with ``suffix`` (relative, os.sep-joined)."""
+    original = fingerprint._read_source
+    tail = os.path.join(*suffix.split("/"))
+
+    def edited(path):
+        data = original(path)
+        if path.endswith(tail):
+            data += b"\n# scoped edit"
+        return data
+
+    monkeypatch.setattr(fingerprint, "_read_source", edited)
+    fingerprint.clear_caches()
+
+
+# The cache-invalidation matrix for the scoped optim/tune fingerprint:
+# rows are edit sites, columns are (figure module -> must invalidate?).
+# Only the figures that import repro.optim may be re-simulated by a
+# pass/tuner edit; a core edit still invalidates everything.
+_MATRIX = [
+    ("repro/optim/passes.py",
+     {"table1_config": False, "ext_serving": False,
+      "extensions": True, "ext_recovered_serving": True}),
+    ("repro/tune/driver.py",
+     {"table1_config": False, "ext_serving": False,
+      "extensions": True, "ext_recovered_serving": True}),
+    ("repro/units.py",
+     {"table1_config": True, "ext_serving": True,
+      "extensions": True, "ext_recovered_serving": True}),
+    ("repro/figures/ext_recovered_serving.py",
+     {"table1_config": False, "ext_serving": False,
+      "extensions": False, "ext_recovered_serving": True}),
+]
+
+
+@pytest.mark.parametrize("edit_site,expected", _MATRIX,
+                         ids=[site for site, _ in _MATRIX])
+def test_invalidation_matrix_scopes_optim_edits(
+    monkeypatch, edit_site, expected
+):
+    before = {
+        module: fingerprint.cell_fingerprint(module) for module in expected
+    }
+    _with_edit(monkeypatch, edit_site)
+    for module, must_change in expected.items():
+        changed = fingerprint.cell_fingerprint(module) != before[module]
+        assert changed == must_change, (
+            f"edit to {edit_site}: expected "
+            f"{module} {'invalidated' if must_change else 'untouched'}"
+        )
+
+
+def test_optim_dependent_modules_match_imports():
+    """The scoped-fingerprint module list must track reality: exactly
+    the figure modules that import repro.optim."""
+    import importlib
+
+    from repro.exec.runner import GRID
+
+    modules = {
+        spec.module for spec in GRID.values() if not spec.hidden
+    }
+    importers = set()
+    for module in modules:
+        source = open(
+            fingerprint._figure_path(module), encoding="utf-8"
+        ).read()
+        if "from ..optim" in source or "from repro.optim" in source:
+            importers.add(module)
+    assert importers == set(fingerprint._OPTIM_DEPENDENT_MODULES)
+    # and each one really imports cleanly
+    for module in importers:
+        importlib.import_module(f"repro.figures.{module}")
+
+
 # ---------------------------------------------------------------------------
 # cache store
 
@@ -134,7 +210,7 @@ def test_resolve_cells_exact_and_prefix():
     assert exec_runner.resolve_cells(["fig04"]) == ["fig04a", "fig04b"]
     assert exec_runner.resolve_cells(["fig04", "fig04a"]) == ["fig04a", "fig04b"]
     ext = exec_runner.resolve_cells(["ext"])
-    assert len(ext) == 14 and all(c.startswith("ext_") for c in ext)
+    assert len(ext) == 15 and all(c.startswith("ext_") for c in ext)
 
 
 def test_resolve_cells_unknown_token():

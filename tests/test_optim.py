@@ -88,3 +88,68 @@ def test_compute_to_io_ratio_lower_under_cc():
     cc = compute_to_io_ratio(SystemConfig.confidential(), 256 * units.MB, units.ms(50))
     # CC copies take longer, so the same KET buys a lower ratio.
     assert cc < base
+
+
+# ---------------------------------------------------------------------------
+# input validation (sweeps must reject degenerate axes up front)
+
+
+import math
+
+import pytest
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(total_ket_ns=0),
+    dict(total_ket_ns=-5),
+    dict(total_ket_ns=float("nan")),
+    dict(total_ket_ns=float("inf")),
+    dict(launch_counts=()),
+    dict(launch_counts=(0,)),
+    dict(launch_counts=(4, -1)),
+    dict(launch_counts=(2.5,)),
+])
+def test_sweep_fusion_levels_rejects_bad_inputs(kwargs):
+    with pytest.raises(ValueError):
+        sweep_fusion_levels(SystemConfig.base(), **kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(per_kernel_ns=0),
+    dict(per_kernel_ns=float("nan")),
+    dict(num_launches=0),
+    dict(graph_batch=-2),
+])
+def test_graph_fusion_time_rejects_bad_inputs(kwargs):
+    with pytest.raises(ValueError):
+        graph_fusion_time(SystemConfig.base(), **kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(batches=()),
+    dict(batches=(0, 4)),
+    dict(per_kernel_ns=-1),
+    dict(num_launches=-3),
+])
+def test_sweep_graph_batches_rejects_bad_inputs(kwargs):
+    with pytest.raises(ValueError):
+        sweep_graph_batches(SystemConfig.base(), **kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(ket_ns=0),
+    dict(ket_ns=float("inf")),
+    dict(total_bytes=0),
+    dict(stream_counts=()),
+    dict(stream_counts=(1, 0)),
+])
+def test_sweep_streams_rejects_bad_inputs(kwargs):
+    with pytest.raises(ValueError):
+        sweep_streams(SystemConfig.base(), **kwargs)
+
+
+def test_validation_error_messages_name_the_argument():
+    with pytest.raises(ValueError, match="total_ket_ns"):
+        sweep_fusion_levels(SystemConfig.base(), total_ket_ns=math.nan)
+    with pytest.raises(ValueError, match="stream_counts"):
+        sweep_streams(SystemConfig.base(), stream_counts=(-1,))

@@ -1,0 +1,180 @@
+"""Tests for the composable CC-mitigation pass layer (repro.optim.passes).
+
+Covers the zero-perturbation contract (identity pipeline == committed
+verdict bytes), the pipeline grammar, pass composition/ordering, and a
+Hypothesis property that ANY valid pass configuration preserves the
+serving engine's no-lost-request ledger invariant.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config import SystemConfig
+from repro.optim import (
+    BatchedTokenDownloadPass,
+    CopyOverlapPass,
+    KernelFusionPass,
+    MitigationPass,
+    PassError,
+    PassPipeline,
+    QuantizationPass,
+    StagingReusePass,
+    parse_pipeline,
+)
+from repro.serve import (
+    EngineTuning,
+    ScenarioSpec,
+    TuningError,
+    run_scenario,
+    verdict_json,
+)
+
+SMALL = ScenarioSpec(rate_rps=16.0, duration_ns=units.NS_PER_SEC // 4)
+
+
+# ---------------------------------------------------------------------------
+# identity / zero-perturbation
+
+
+def test_identity_pipeline_produces_trivial_tuning():
+    pipeline = PassPipeline(())
+    spec, tuning = pipeline.apply(SMALL)
+    assert spec == SMALL
+    assert tuning.trivial
+    assert pipeline.pipeline_id() == "naive"
+    assert pipeline.trivial
+
+
+def test_identity_pipeline_verdict_bytes_equal_untuned():
+    """The empty pipeline must reproduce the engine's verdict
+    byte-for-byte — the invariant behind the committed ext_serving /
+    ext_cluster_serving goldens (CI cmp-gates the goldens themselves)."""
+    config = SystemConfig.confidential()
+    _, untuned = run_scenario(SMALL, config)
+    _, tuning = PassPipeline(()).apply(SMALL)
+    _, tuned = run_scenario(SMALL, config, tuning=tuning)
+    assert verdict_json(untuned) == verdict_json(tuned)
+
+
+def test_trivial_tuning_adds_no_stats_keys():
+    _, result = run_scenario(SMALL, SystemConfig.base())
+    assert not any(k.startswith("tuning") for k in result.engine.stats)
+
+
+def test_nontrivial_tuning_surfaces_in_stats():
+    _, tuning = parse_pipeline("fusion+batch:2").apply(SMALL)
+    _, result = run_scenario(SMALL, SystemConfig.confidential(),
+                             tuning=tuning)
+    assert result.engine.stats["tuning"] == "fusion+batch:2"
+    assert result.engine.stats["tuning_fused_launches"] >= 0
+    assert result.engine.stats["tuning_token_flushes"] > 0
+
+
+# ---------------------------------------------------------------------------
+# grammar and composition
+
+
+def test_parse_full_pipeline_roundtrip():
+    text = "fusion+overlap:2+batch:4+staging+quant:awq:8"
+    pipeline = parse_pipeline(text)
+    assert pipeline.pipeline_id() == text
+    _, tuning = pipeline.apply(SMALL)
+    assert tuning == EngineTuning(
+        fuse_step_kernels=True, token_flush_every=4, d2h_streams=2,
+        split_swap_staging=True, quant="awq", kv_bits=8,
+    )
+
+
+def test_parse_defaults_per_family():
+    _, tuning = parse_pipeline("overlap+batch+quant").apply(SMALL)
+    assert tuning.d2h_streams == 2
+    assert tuning.token_flush_every == 4
+    assert (tuning.quant, tuning.kv_bits) == ("awq", 8)
+
+
+@pytest.mark.parametrize("text", [
+    "bogus", "fusion+fusion", "overlap:1", "overlap:99", "batch:0",
+    "batch:x", "quant:int3", "quant:awq:5", "fusion:2", "staging:1",
+    "+fusion", "fusion++batch",
+])
+def test_parse_rejects_bad_specs(text):
+    with pytest.raises(PassError):
+        parse_pipeline(text)
+
+
+def test_passes_satisfy_the_protocol():
+    for p in (KernelFusionPass(), CopyOverlapPass(), QuantizationPass(),
+              BatchedTokenDownloadPass(), StagingReusePass()):
+        assert isinstance(p, MitigationPass)
+        p.validate()
+        assert p.describe()
+
+
+def test_apply_is_pure_and_order_independent_for_disjoint_knobs():
+    a = PassPipeline((KernelFusionPass(), StagingReusePass()))
+    b = PassPipeline((StagingReusePass(), KernelFusionPass()))
+    tuning = EngineTuning()
+    _, ta = a.apply(SMALL, tuning)
+    _, tb = b.apply(SMALL, tuning)
+    assert ta == tb
+    assert tuning == EngineTuning()  # inputs not mutated
+
+
+def test_pipeline_rejects_non_pass_members():
+    with pytest.raises(PassError, match="not a mitigation pass"):
+        PassPipeline((object(),)).validate()
+
+
+def test_pipeline_rejects_invalid_member_config():
+    with pytest.raises(PassError):
+        PassPipeline((CopyOverlapPass(streams=1),)).validate()
+
+
+def test_accuracy_metadata_flows_through_pipeline():
+    assert PassPipeline(()).accuracy_drop_pct() == 0.0
+    pipeline = parse_pipeline("fusion+quant:awq:8")
+    assert pipeline.accuracy_drop_pct() == pytest.approx(0.4)
+
+
+def test_engine_rejects_out_of_range_tuning():
+    with pytest.raises(TuningError):
+        run_scenario(SMALL, tuning=EngineTuning(token_flush_every=0))
+    with pytest.raises(TuningError):
+        run_scenario(SMALL, tuning=EngineTuning(d2h_streams=99))
+
+
+# ---------------------------------------------------------------------------
+# property: any pass config preserves the lifecycle ledger invariant
+
+
+TINY = ScenarioSpec(rate_rps=12.0, duration_ns=units.NS_PER_SEC // 5)
+
+tunings = st.builds(
+    EngineTuning,
+    fuse_step_kernels=st.booleans(),
+    token_flush_every=st.integers(min_value=1, max_value=8),
+    d2h_streams=st.integers(min_value=1, max_value=4),
+    split_swap_staging=st.booleans(),
+    quant=st.sampled_from(["bf16", "awq"]),
+    kv_bits=st.sampled_from([4, 8, 16]),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(tuning=tunings, cc=st.booleans())
+def test_any_tuning_preserves_ledger_invariant(tuning, cc):
+    """The engine's drain-time LifecycleLedger.check_complete() raises
+    on any lost request, so a clean run IS the invariant; the report
+    must additionally account for every offered request exactly once."""
+    config = SystemConfig.confidential() if cc else SystemConfig.base()
+    _, result = run_scenario(TINY, config, tuning=tuning)
+    report = result.report
+    assert report["offered"] == result.requests
+    assert report["offered"] == (
+        report["completed"] + report["rejected"]
+        + report["shed"] + report["failed"]
+    )
+    # tuned engines change costs, never the request population
+    assert result.arrival_digest == run_scenario(TINY, config)[1].arrival_digest
